@@ -1,0 +1,74 @@
+"""Benchmark: regenerate the paper's figures (Figs. 3-21).
+
+Every figure of the evaluation section is an execution fragment; these
+benchmarks re-run the corresponding algorithm, extract the fragment and
+print it as ASCII art (run with ``-s`` to see the figures).  The checks
+mirror ``tests/figures/test_paper_figures.py``; here the emphasis is on
+regenerating and displaying the artefacts and on timing the simulations
+that produce them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import get
+from repro.analysis import follows_boustrophedon_route
+from repro.core import Grid, SequentialAsync, run_async, run_fsync
+from repro.viz.figures import FigureFrame, render_figure_sequence
+
+FIGURES = [
+    # (figure id, algorithm, model, grid, description)
+    ("Fig. 3", "fsync_phi2_l2_chir_k2", "FSYNC", (5, 6), "boustrophedon route"),
+    ("Figs. 4-5", "fsync_phi2_l2_chir_k2", "FSYNC", (4, 6), "Algorithm 1 turns"),
+    ("Fig. 6", "fsync_phi2_l2_nochir_k3", "FSYNC", (4, 6), "Algorithm 2 turn"),
+    ("Figs. 7-8", "fsync_phi1_l3_chir_k2", "FSYNC", (4, 5), "Algorithm 3 turns"),
+    ("Fig. 9", "fsync_phi1_l3_nochir_k4", "FSYNC", (4, 5), "Algorithm 4 turn"),
+    ("Figs. 10-11", "fsync_phi1_l2_chir_k3", "FSYNC", (4, 5), "Algorithm 5 turns"),
+    ("Figs. 12-13", "async_phi2_l3_chir_k2", "ASYNC", (4, 5), "Algorithm 6 turns"),
+    ("Fig. 14", "async_phi2_l3_nochir_k3", "ASYNC", (4, 5), "Algorithm 7 turn"),
+    ("Figs. 15-16", "async_phi2_l2_chir_k3", "ASYNC", (4, 5), "Algorithm 8 turns"),
+    ("Figs. 17-18", "async_phi2_l2_nochir_k4", "ASYNC", (4, 6), "Algorithm 9 turn"),
+    ("Figs. 19-21", "async_phi1_l3_chir_k3", "ASYNC", (4, 5), "Algorithm 10 turns"),
+]
+
+
+def _run(name, model, size):
+    algorithm = get(name)
+    grid = Grid(*size)
+    if model == "FSYNC":
+        return run_fsync(algorithm, grid, tie_break="first")
+    return run_async(algorithm, grid, scheduler=SequentialAsync(), tie_break="first")
+
+
+@pytest.mark.parametrize("figure,name,model,size,desc", FIGURES, ids=[f[0] for f in FIGURES])
+def test_regenerate_figure(benchmark, capsys, figure, name, model, size, desc):
+    """Re-run the execution behind one paper figure and render its window."""
+    result = benchmark.pedantic(lambda: _run(name, model, size), rounds=2, iterations=1)
+    assert result.is_terminating_exploration
+
+    # Render the window of the trace around the first border pivot: from the
+    # first configuration touching the east border column to the first
+    # configuration on the second row band.
+    grid = result.grid
+    start = next(
+        (i for i, c in enumerate(result.trace) if any(node[1] == grid.n - 1 for node, _ in c)),
+        0,
+    )
+    end = next(
+        (i for i, c in enumerate(result.trace) if all(node[0] >= 1 for node, _ in c)),
+        len(result.trace) - 1,
+    )
+    frames = [
+        FigureFrame(f"{figure} frame {index}", result.trace[index])
+        for index in range(start, min(end + 1, start + 8))
+    ]
+    with capsys.disabled():
+        print(f"\n=== {figure} ({desc}), {name} on {grid.m}x{grid.n} [{model}] ===")
+        print(render_figure_sequence(grid, frames))
+
+
+def test_figure3_route_property(benchmark):
+    """Figure 3: the exploration route is the north-to-south boustrophedon."""
+    result = benchmark.pedantic(lambda: run_fsync(get("fsync_phi2_l2_chir_k2"), Grid(6, 7), tie_break="first"), rounds=3, iterations=1)
+    assert follows_boustrophedon_route(result)

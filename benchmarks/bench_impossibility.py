@@ -1,0 +1,52 @@
+"""Benchmark: the Theorem 1 lower-bound demonstration (Table 1, phi = 1 rows).
+
+Times the exact SSYNC-adversary refutation of two-robot phi = 1 candidates
+and the control check that the paper's three-robot algorithm survives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import get
+from repro.core import Grid
+from repro.impossibility import (
+    candidate_two_robot_algorithms,
+    demonstrate_theorem1,
+    refute_terminating_exploration,
+)
+
+CANDIDATES = candidate_two_robot_algorithms()
+
+
+@pytest.mark.parametrize("name", sorted(CANDIDATES), ids=sorted(CANDIDATES))
+def test_refute_two_robot_candidate(benchmark, name):
+    """Time the adversary's refutation of one 2-robot phi=1 candidate."""
+    algorithm = CANDIDATES[name]
+
+    def refute():
+        witness = refute_terminating_exploration(algorithm, Grid(4, 4), model="SSYNC")
+        assert witness is not None
+        return witness
+
+    witness = benchmark.pedantic(refute, rounds=1, iterations=1)
+    assert witness.kind in ("terminal", "cycle")
+
+
+def test_three_robots_survive(benchmark):
+    """Time the control: the k=3 upper-bound algorithm resists the adversary."""
+    algorithm = get("async_phi1_l3_chir_k3")
+
+    def control():
+        return refute_terminating_exploration(algorithm, Grid(3, 4), model="SSYNC")
+
+    assert benchmark.pedantic(control, rounds=1, iterations=1) is None
+
+
+def test_print_theorem1_report(capsys):
+    """Regenerate and print the full Theorem 1 demonstration."""
+    report = demonstrate_theorem1(4, 4)
+    with capsys.disabled():
+        print()
+        print(report)
+    assert report.all_candidates_refuted and report.control_survives

@@ -1,0 +1,63 @@
+"""Benchmark: round/move complexity scaling and simulator/checker throughput.
+
+Extension beyond the paper's tables: measures that every algorithm performs
+Theta(m * n) robot moves (printing the fitted moves-per-node constant), and
+times the core engines (FSYNC simulator, ASYNC simulator, exhaustive model
+checker) so that performance regressions are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import table1_rows
+from repro.analysis import round_complexity_sweep
+from repro.analysis.scaling import fit_linear_in_nodes
+from repro.checking import check_terminating_exploration
+from repro.core import Grid, RandomAsync, run_async, run_fsync
+
+ROWS = table1_rows()
+
+
+@pytest.mark.parametrize("algorithm", ROWS, ids=[a.name for a in ROWS])
+def test_scaling_sweep(benchmark, capsys, algorithm):
+    """Fit the moves-per-node constant of one algorithm over a size sweep."""
+    points = benchmark.pedantic(lambda: round_complexity_sweep(algorithm), rounds=1, iterations=1)
+    slope = fit_linear_in_nodes(points, field="moves")
+    with capsys.disabled():
+        print(
+            f"\n{algorithm.name}: {len(points)} sizes, moves ~ {slope:.2f} * (m*n),"
+            f" largest grid {points[-1].m}x{points[-1].n} in {points[-1].steps} steps"
+        )
+    assert 0.5 < slope < 6.0
+
+
+def test_fsync_simulator_throughput(benchmark, algorithms=None):
+    """Time a single large FSYNC execution of Algorithm 1 (20x21 grid)."""
+    from repro.algorithms import get
+
+    algorithm = get("fsync_phi2_l2_chir_k2")
+    result = benchmark.pedantic(lambda: run_fsync(algorithm, Grid(20, 21), record_trace=False), rounds=1, iterations=1)
+    assert result.is_terminating_exploration
+
+
+def test_async_simulator_throughput(benchmark):
+    """Time a single large ASYNC execution of Algorithm 10 (12x13 grid)."""
+    from repro.algorithms import get
+
+    algorithm = get("async_phi1_l3_chir_k3")
+    result = benchmark.pedantic(
+        lambda: run_async(algorithm, Grid(12, 13), scheduler=RandomAsync(seed=7), record_trace=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.is_terminating_exploration
+
+
+def test_model_checker_throughput(benchmark):
+    """Time the exhaustive ASYNC check of Algorithm 6 on a 3x5 grid."""
+    from repro.algorithms import get
+
+    algorithm = get("async_phi2_l3_chir_k2")
+    result = benchmark.pedantic(lambda: check_terminating_exploration(algorithm, Grid(3, 5), model="ASYNC"), rounds=1, iterations=1)
+    assert result.ok

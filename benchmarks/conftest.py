@@ -1,0 +1,12 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import all_algorithms
+
+
+@pytest.fixture(scope="session")
+def algorithms():
+    return all_algorithms()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Theorem 1 demonstration: two myopic robots cannot explore a grid in SSYNC.
+
+Runs the exact SSYNC-adversary refuter on a library of two-robot phi = 1
+candidate algorithms (including the paper's own FSYNC Algorithm 3) and on
+the paper's three-robot ASYNC algorithm as a control, printing the
+adversary's witnesses.
+
+Usage::
+
+    python examples/impossibility_demo.py [m] [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import Grid
+from repro.impossibility import demonstrate_theorem1
+
+
+def main() -> int:
+    m = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    print(
+        "Theorem 1 (paper, Section 3): with visibility one and two robots, no algorithm\n"
+        "solves terminating grid exploration under the semi-synchronous scheduler.\n"
+    )
+    grid = Grid(m, n)
+    print(
+        f"The {m}x{n} grid has {len(grid.inner_nodes())} inner nodes"
+        f" (the proof works with grids of at least nine inner nodes; the exact refuter"
+        f" below needs none of that slack).\n"
+    )
+    report = demonstrate_theorem1(m, n)
+    print(report)
+    if report.all_candidates_refuted and report.control_survives:
+        print(
+            "\nEvery two-robot candidate is defeated by the adversary, while the paper's"
+            "\nthree-robot algorithm survives — matching Table 1's tight phi = 1 bounds."
+        )
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

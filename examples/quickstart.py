@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: run Algorithm 1 (two myopic luminous robots) on a grid.
+
+Simulates the paper's simplest optimal algorithm — FSYNC, visibility two,
+two colors, common chirality, two robots — on a 5x7 grid, prints the
+execution frame by frame and checks the terminating-exploration property.
+
+Usage::
+
+    python examples/quickstart.py [m] [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import core
+from repro.algorithms import get
+from repro.analysis import collect_metrics
+from repro.viz import render_configuration
+
+
+def main() -> int:
+    m = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+
+    algorithm = get("fsync_phi2_l2_chir_k2")
+    grid = core.Grid(m, n)
+    print(f"Running {algorithm.summary()}")
+    print(f"on a {m}x{n} grid (northwest corner at the top left)\n")
+
+    result = core.run_fsync(algorithm, grid)
+
+    visited = set()
+    for index, configuration in enumerate(result.trace):
+        for node, _colors in configuration:
+            visited.add(node)
+        print(f"round {index}")
+        print(render_configuration(grid, configuration, visited=visited))
+        print()
+
+    metrics = collect_metrics(result)
+    print(result.summary())
+    print(
+        f"rounds: {metrics.steps}, robot moves: {metrics.moves},"
+        f" moves per node: {metrics.moves_per_node:.2f}"
+    )
+    print(f"terminating exploration achieved: {result.is_terminating_exploration}")
+    return 0 if result.is_terminating_exploration else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that legacy (``--no-use-pep517`` / offline, wheel-less) editable
+installs keep working on minimal environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Shared helpers for the algorithm modules.
+
+Every algorithm module of this package encodes one of the paper's fourteen
+terminating-exploration algorithms as a :class:`~repro.core.algorithm.Algorithm`
+instance named ``ALGORITHM``.  Initial configurations are anchored at the
+northwest corner of the grid exactly as in the paper (``v_{0,0}``,
+``v_{0,1}``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..core.colors import Color
+from ..core.grid import Node
+
+__all__ = ["placement", "Placement"]
+
+#: An initial placement: list of ``(node, color)`` pairs.
+Placement = List[Tuple[Node, Color]]
+
+
+def placement(*entries: Tuple[Node, Color]) -> Callable[[int, int], Placement]:
+    """Build an initial-placement function from fixed ``(node, color)`` entries.
+
+    The paper's initial configurations do not depend on the grid size (they
+    always sit in the northwest corner), so most algorithms can use this
+    constant placement helper.
+    """
+
+    fixed: Placement = [(node, color) for node, color in entries]
+
+    def _place(m: int, n: int) -> Placement:
+        return list(fixed)
+
+    return _place

@@ -1,0 +1,35 @@
+"""Section 4.2.3 — FSYNC, phi = 2, ell = 1, common chirality, k = 3.
+
+Optimal in the number of robots.  Obtained from Algorithm 1 by the paper's
+color-elimination construction: the single ``W`` robot is represented by a
+stack of two ``G`` robots, so only one color remains.  See
+:mod:`repro.algorithms.derive`.
+"""
+
+from __future__ import annotations
+
+from ..core.colors import G, W
+from . import alg01_fsync_phi2_l2_chir_k2 as _source
+from .derive import replace_color_with_pair
+
+__all__ = ["ALGORITHM", "build"]
+
+
+def build():
+    """Construct the Section 4.2.3 algorithm from Algorithm 1."""
+    return replace_color_with_pair(
+        _source.ALGORITHM,
+        removed=W,
+        replacement=G,
+        name="fsync_phi2_l1_chir_k3",
+        paper_section="4.2.3",
+        description=(
+            "Section 4.2.3: FSYNC, phi=2, one color, common chirality, three robots"
+            " (Algorithm 1 with the W robot replaced by a pair of G robots)"
+        ),
+        optimal=True,
+    )
+
+
+#: The Section 4.2.3 algorithm, ready to simulate.
+ALGORITHM = build()

@@ -1,0 +1,34 @@
+"""Section 4.2.4 — FSYNC, phi = 2, ell = 1, no common chirality, k = 4.
+
+Obtained from Algorithm 2 by the paper's color-elimination construction:
+the single ``W`` robot is represented by a stack of two ``G`` robots, so
+only one color remains.  See :mod:`repro.algorithms.derive`.
+"""
+
+from __future__ import annotations
+
+from ..core.colors import G, W
+from . import alg02_fsync_phi2_l2_nochir_k3 as _source
+from .derive import replace_color_with_pair
+
+__all__ = ["ALGORITHM", "build"]
+
+
+def build():
+    """Construct the Section 4.2.4 algorithm from Algorithm 2."""
+    return replace_color_with_pair(
+        _source.ALGORITHM,
+        removed=W,
+        replacement=G,
+        name="fsync_phi2_l1_nochir_k4",
+        paper_section="4.2.4",
+        description=(
+            "Section 4.2.4: FSYNC, phi=2, one color, no chirality, four robots"
+            " (Algorithm 2 with the W robot replaced by a pair of G robots)"
+        ),
+        optimal=False,
+    )
+
+
+#: The Section 4.2.4 algorithm, ready to simulate.
+ALGORITHM = build()

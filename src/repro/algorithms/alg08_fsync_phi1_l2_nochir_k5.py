@@ -1,0 +1,35 @@
+"""Section 4.2.8 — FSYNC, phi = 1, ell = 2, no common chirality, k = 5.
+
+Obtained from Algorithm 4 by the paper's color-elimination construction:
+the single ``B`` robot is represented by a stack of two ``G`` robots, so
+only the colors ``G`` and ``W`` remain.  See
+:mod:`repro.algorithms.derive`.
+"""
+
+from __future__ import annotations
+
+from ..core.colors import B, G
+from . import alg06_fsync_phi1_l3_nochir_k4 as _source
+from .derive import replace_color_with_pair
+
+__all__ = ["ALGORITHM", "build"]
+
+
+def build():
+    """Construct the Section 4.2.8 algorithm from Algorithm 4."""
+    return replace_color_with_pair(
+        _source.ALGORITHM,
+        removed=B,
+        replacement=G,
+        name="fsync_phi1_l2_nochir_k5",
+        paper_section="4.2.8",
+        description=(
+            "Section 4.2.8: FSYNC, phi=1, two colors, no chirality, five robots"
+            " (Algorithm 4 with the B robot replaced by a pair of G robots)"
+        ),
+        optimal=False,
+    )
+
+
+#: The Section 4.2.8 algorithm, ready to simulate.
+ALGORITHM = build()

@@ -1,0 +1,18 @@
+"""Analysis utilities: Table 1 regeneration, route checking, metrics and scaling."""
+
+from .metrics import ExecutionMetrics, collect_metrics
+from .route import follows_boustrophedon_route, route_deviation
+from .scaling import ScalingPoint, round_complexity_sweep
+from .table1 import Table1Row, build_table1, render_table1
+
+__all__ = [
+    "ExecutionMetrics",
+    "collect_metrics",
+    "follows_boustrophedon_route",
+    "route_deviation",
+    "ScalingPoint",
+    "round_complexity_sweep",
+    "Table1Row",
+    "build_table1",
+    "render_table1",
+]

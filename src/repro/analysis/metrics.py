@@ -1,0 +1,73 @@
+"""Quantitative metrics extracted from executions.
+
+The paper reports no timing tables (its results are possibility/optimality
+statements), so these metrics exist to characterise the reproduced
+algorithms quantitatively: rounds/steps to termination, robot moves, color
+changes, per-node visit counts, and the exploration ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.execution import ExecutionResult
+from ..core.grid import Node
+
+__all__ = ["ExecutionMetrics", "collect_metrics"]
+
+
+@dataclass(frozen=True)
+class ExecutionMetrics:
+    """Summary numbers for one execution."""
+
+    algorithm: str
+    model: str
+    m: int
+    n: int
+    steps: int
+    moves: int
+    color_changes: int
+    visited: int
+    total_nodes: int
+    terminated: bool
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of nodes visited."""
+        return self.visited / self.total_nodes
+
+    @property
+    def moves_per_node(self) -> float:
+        """Robot moves per grid node — the paper's algorithms are Theta(1) here."""
+        return self.moves / self.total_nodes
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "model": self.model,
+            "m": self.m,
+            "n": self.n,
+            "steps": self.steps,
+            "moves": self.moves,
+            "color_changes": self.color_changes,
+            "coverage": self.coverage,
+            "moves_per_node": self.moves_per_node,
+            "terminated": self.terminated,
+        }
+
+
+def collect_metrics(result: ExecutionResult) -> ExecutionMetrics:
+    """Extract :class:`ExecutionMetrics` from an execution result."""
+    return ExecutionMetrics(
+        algorithm=result.algorithm_name,
+        model=result.model,
+        m=result.grid.m,
+        n=result.grid.n,
+        steps=result.steps,
+        moves=result.total_moves,
+        color_changes=result.total_color_changes,
+        visited=len(result.visited),
+        total_nodes=result.grid.num_nodes,
+        terminated=result.terminated,
+    )

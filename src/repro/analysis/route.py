@@ -1,0 +1,49 @@
+"""Figure 3: the boustrophedon exploration route.
+
+All of the paper's algorithms explore the grid "according to the arrow in
+Fig. 3": start from the northwest corner, sweep each row, drop one row at
+each border, alternating direction.  This module checks an execution's
+first-visit order against that route.
+
+Because the formations span one or two rows (and trailing robots re-visit
+nodes), the first-visit order is not literally the Figure 3 permutation;
+what characterises the route is that *row bands are completed from north
+to south*: a node is never first-visited while some node two or more rows
+above it is still unvisited.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.execution import ExecutionResult
+from ..core.grid import Node
+
+__all__ = ["follows_boustrophedon_route", "route_deviation"]
+
+
+def route_deviation(result: ExecutionResult, band: int = 2) -> List[Tuple[Node, Node]]:
+    """Pairs (late, early) violating the north-to-south band discipline.
+
+    A pair ``(u, v)`` is a deviation when ``u`` is first-visited before
+    ``v`` although ``u`` lies at least ``band`` rows *below* ``v`` — i.e.
+    the sweep jumped ahead leaving unexplored territory behind.  The
+    paper's route (Figure 3) admits no such pair for ``band = 2``: the
+    formations occupy at most two adjacent rows at any time.
+    """
+    order = result.first_visit_order()
+    deviations: List[Tuple[Node, Node]] = []
+    unvisited = set(result.grid.nodes())
+    for node in order:
+        unvisited.discard(node)
+        for other in unvisited:
+            if node[0] >= other[0] + band:
+                deviations.append((node, other))
+    return deviations
+
+
+def follows_boustrophedon_route(result: ExecutionResult, band: int = 2) -> bool:
+    """Whether the execution's first-visit order follows the Figure 3 route."""
+    if not result.explored:
+        return False
+    return not route_deviation(result, band=band)

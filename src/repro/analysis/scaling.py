@@ -1,0 +1,58 @@
+"""Round-complexity scaling sweeps (extension beyond the paper).
+
+The paper does not plot running times, but every algorithm visibly takes
+Theta(m * n) robot moves.  This module measures steps and moves over a
+family of grid sizes and fits the leading coefficient, which the scaling
+benchmark (``benchmarks/bench_scaling.py``) reports as a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.algorithm import Algorithm
+from ..core.grid import Grid
+from ..core.simulator import TieBreak, run_fsync
+
+__all__ = ["ScalingPoint", "round_complexity_sweep", "fit_linear_in_nodes"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One measurement of a scaling sweep."""
+
+    m: int
+    n: int
+    nodes: int
+    steps: int
+    moves: int
+
+
+def round_complexity_sweep(
+    algorithm: Algorithm,
+    sizes: Optional[Iterable[Tuple[int, int]]] = None,
+) -> List[ScalingPoint]:
+    """Measure FSYNC rounds and moves over a family of grid sizes."""
+    if sizes is None:
+        base = max(algorithm.min_n, 4)
+        sizes = [(side, side + 1) for side in range(max(algorithm.min_m, 3), 12)] + [
+            (3, base * 4),
+            (base * 4, 3 if algorithm.min_n <= 3 else algorithm.min_n),
+        ]
+    points = []
+    for m, n in sizes:
+        if not algorithm.supports_grid(m, n):
+            continue
+        result = run_fsync(algorithm, Grid(m, n), tie_break=TieBreak.FIRST)
+        points.append(
+            ScalingPoint(m=m, n=n, nodes=m * n, steps=result.steps, moves=result.total_moves)
+        )
+    return points
+
+
+def fit_linear_in_nodes(points: List[ScalingPoint], field: str = "moves") -> float:
+    """Least-squares slope of ``field`` against the node count (through the origin)."""
+    num = sum(point.nodes * getattr(point, field) for point in points)
+    den = sum(point.nodes * point.nodes for point in points)
+    return num / den if den else float("nan")

@@ -1,0 +1,129 @@
+"""Core LCM-model substrate: grids, robots, views, rules, schedulers, simulator."""
+
+from .algorithm import Action, Algorithm, Match, Synchrony
+from .colors import B, DEFAULT_PALETTE, G, W, multiset
+from .configuration import Configuration
+from .errors import (
+    AlgorithmError,
+    AmbiguousActionError,
+    ConfigurationError,
+    GridError,
+    GuardError,
+    IllegalMoveError,
+    ModelCheckingError,
+    NonTerminationError,
+    ReproError,
+    RuleError,
+    SchedulerError,
+    SimulationError,
+    StateSpaceLimitExceeded,
+    VerificationError,
+)
+from .execution import Event, ExecutionResult
+from .grid import DIRECTIONS, EAST, NORTH, SOUTH, WEST, Grid
+from .robot import Robot
+from .rules import ANY, EMPTY, FREE, IDLE, WALL, CellKind, CellSpec, Guard, Rule, occ, parse_guard_art
+from .scheduler import (
+    AsyncScheduler,
+    FullActivation,
+    RandomAsync,
+    RandomSubset,
+    SequentialAsync,
+    SingleRandom,
+    SingleSequential,
+    SsyncScheduler,
+)
+from .simulator import TieBreak, default_step_budget, run, run_async, run_fsync, run_ssync
+from .views import (
+    ALL_SYMMETRIES,
+    IDENTITY,
+    REFLECTIONS,
+    ROTATIONS,
+    Symmetry,
+    ball_offsets,
+    snapshot_contents,
+    symmetries_for,
+    view_tuple,
+)
+from .world import World
+
+__all__ = [
+    # algorithm
+    "Action",
+    "Algorithm",
+    "Match",
+    "Synchrony",
+    # colors
+    "B",
+    "G",
+    "W",
+    "DEFAULT_PALETTE",
+    "multiset",
+    # configuration / world / robot
+    "Configuration",
+    "World",
+    "Robot",
+    # errors
+    "ReproError",
+    "GridError",
+    "ConfigurationError",
+    "RuleError",
+    "GuardError",
+    "AlgorithmError",
+    "SchedulerError",
+    "SimulationError",
+    "AmbiguousActionError",
+    "IllegalMoveError",
+    "NonTerminationError",
+    "VerificationError",
+    "ModelCheckingError",
+    "StateSpaceLimitExceeded",
+    # execution
+    "Event",
+    "ExecutionResult",
+    # grid
+    "Grid",
+    "NORTH",
+    "SOUTH",
+    "EAST",
+    "WEST",
+    "DIRECTIONS",
+    # rules
+    "CellKind",
+    "CellSpec",
+    "Guard",
+    "Rule",
+    "EMPTY",
+    "WALL",
+    "FREE",
+    "ANY",
+    "IDLE",
+    "occ",
+    "parse_guard_art",
+    # schedulers
+    "SsyncScheduler",
+    "FullActivation",
+    "SingleSequential",
+    "SingleRandom",
+    "RandomSubset",
+    "AsyncScheduler",
+    "SequentialAsync",
+    "RandomAsync",
+    # simulator
+    "TieBreak",
+    "run",
+    "run_fsync",
+    "run_ssync",
+    "run_async",
+    "default_step_budget",
+    # views
+    "Symmetry",
+    "IDENTITY",
+    "ROTATIONS",
+    "REFLECTIONS",
+    "ALL_SYMMETRIES",
+    "ball_offsets",
+    "symmetries_for",
+    "snapshot_contents",
+    "view_tuple",
+]

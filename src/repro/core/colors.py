@@ -1,0 +1,83 @@
+"""Light colors of luminous robots.
+
+The paper uses at most three colors, written ``G`` (green), ``W`` (white)
+and ``B`` (black/blue) — see Algorithms 1–11.  Colors in this library are
+plain strings so that user-defined algorithms may use arbitrary labels; the
+constants below cover the paper's palette.
+
+A *multiset of colors* (the ``M_{i,j}`` of the paper, i.e. the colors of the
+robots hosted by one node) is represented canonically as a sorted tuple of
+color strings, produced by :func:`multiset`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+__all__ = [
+    "G",
+    "W",
+    "B",
+    "DEFAULT_PALETTE",
+    "Color",
+    "ColorMultiset",
+    "multiset",
+    "multiset_union",
+    "multiset_remove",
+    "validate_color",
+]
+
+#: Green light (the paper's ``G``).
+G = "G"
+#: White light (the paper's ``W``).
+W = "W"
+#: Black light (the paper's ``B``).
+B = "B"
+
+#: The three colors used across the paper's algorithms, in a fixed order.
+DEFAULT_PALETTE: Tuple[str, ...] = (G, W, B)
+
+#: Type alias for a single color.
+Color = str
+
+#: Type alias for a canonical (sorted) multiset of colors.
+ColorMultiset = Tuple[str, ...]
+
+
+def validate_color(color: Color) -> Color:
+    """Return ``color`` unchanged if it is a valid color label.
+
+    A valid color is a non-empty string.  Raises :class:`ValueError`
+    otherwise.
+    """
+    if not isinstance(color, str) or not color:
+        raise ValueError(f"invalid color label: {color!r}")
+    return color
+
+
+def multiset(*colors: Color) -> ColorMultiset:
+    """Build a canonical multiset of colors.
+
+    >>> multiset("W", "G")
+    ('G', 'W')
+    >>> multiset()
+    ()
+    """
+    for color in colors:
+        validate_color(color)
+    return tuple(sorted(colors))
+
+
+def multiset_union(first: Iterable[Color], second: Iterable[Color]) -> ColorMultiset:
+    """Union (with multiplicities) of two color multisets, canonicalised."""
+    return tuple(sorted((*first, *second)))
+
+
+def multiset_remove(source: Iterable[Color], color: Color) -> ColorMultiset:
+    """Remove one occurrence of ``color`` from ``source``.
+
+    Raises :class:`ValueError` if ``color`` is not present.
+    """
+    items = list(source)
+    items.remove(color)
+    return tuple(sorted(items))

@@ -1,0 +1,143 @@
+"""Configurations: the global system states of the paper.
+
+Section 2.2 defines a configuration ``C(t) = {(v_{i,j}, M_{i,j}(t))}`` as the
+set of occupied nodes together with the multiset of light colors present on
+each of them.  Robots are anonymous, so the configuration deliberately
+forgets robot identities; this is the object the paper's figures draw, the
+object algorithm guards constrain, and the object used to define terminal
+configurations.
+
+:class:`Configuration` is immutable and hashable, which the model checker
+relies on for state deduplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from .colors import Color, ColorMultiset, multiset
+from .errors import ConfigurationError
+from .grid import Grid, Node
+from .robot import Robot
+
+__all__ = ["Configuration"]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An immutable mapping from occupied nodes to color multisets."""
+
+    entries: Tuple[Tuple[Node, ColorMultiset], ...]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[Node, Iterable[Color]]) -> "Configuration":
+        """Build a configuration from ``{node: colors}``.
+
+        Empty color collections are dropped (an unoccupied node is simply
+        absent from the configuration, as in the paper).
+        """
+        entries = []
+        for node, colors in mapping.items():
+            ms = multiset(*colors)
+            if ms:
+                entries.append((node, ms))
+        return cls(entries=tuple(sorted(entries)))
+
+    @classmethod
+    def from_robots(cls, robots: Iterable[Robot]) -> "Configuration":
+        """Build a configuration from a collection of robots."""
+        accum: Dict[Node, list] = {}
+        for robot in robots:
+            accum.setdefault(robot.pos, []).append(robot.color)
+        return cls.from_mapping(accum)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[Node, Iterable[Color]]]) -> "Configuration":
+        """Build a configuration from ``(node, colors)`` pairs.
+
+        Pairs naming the same node are merged (their multisets are united),
+        which mirrors the paper's set-of-pairs notation.
+        """
+        accum: Dict[Node, list] = {}
+        for node, colors in pairs:
+            accum.setdefault(node, []).extend(colors)
+        return cls.from_mapping(accum)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[Node, ColorMultiset]:
+        """A plain ``{node: multiset}`` dictionary copy."""
+        return dict(self.entries)
+
+    def occupied_nodes(self) -> Tuple[Node, ...]:
+        """The paper's ``Q(t)``: nodes hosting at least one robot."""
+        return tuple(node for node, _ in self.entries)
+
+    def colors_at(self, node: Node) -> ColorMultiset:
+        """The multiset of colors on ``node`` (empty tuple if unoccupied)."""
+        for entry_node, colors in self.entries:
+            if entry_node == node:
+                return colors
+        return ()
+
+    def is_occupied(self, node: Node) -> bool:
+        """Whether some robot occupies ``node``."""
+        return any(entry_node == node for entry_node, _ in self.entries)
+
+    @property
+    def robot_count(self) -> int:
+        """Total number of robots in the configuration."""
+        return sum(len(colors) for _, colors in self.entries)
+
+    def color_census(self) -> Dict[Color, int]:
+        """Number of robots per color."""
+        census: Dict[Color, int] = {}
+        for _, colors in self.entries:
+            for color in colors:
+                census[color] = census.get(color, 0) + 1
+        return census
+
+    def validate_on(self, grid: Grid) -> "Configuration":
+        """Check every occupied node lies on ``grid``; return ``self``."""
+        for node, _ in self.entries:
+            if not grid.contains(node):
+                raise ConfigurationError(
+                    f"configuration occupies {node}, outside the {grid.m}x{grid.n} grid"
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Tuple[Node, ColorMultiset]]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, node: Node) -> bool:
+        return self.is_occupied(node)
+
+    def __str__(self) -> str:
+        parts = [
+            "(v[%d,%d], {%s})" % (node[0], node[1], ",".join(colors))
+            for node, colors in self.entries
+        ]
+        return "{" + ", ".join(parts) + "}"
+
+    # ------------------------------------------------------------------
+    # Comparisons used by tests against the paper's explicit configurations
+    # ------------------------------------------------------------------
+    def matches_pairs(self, pairs: Sequence[Tuple[Node, Sequence[Color]]]) -> bool:
+        """Whether this configuration equals the explicitly listed ``pairs``.
+
+        Convenience used by figure-reproduction tests: the paper writes
+        configurations like ``{(v_{m-1,1}, {G, W})}``; tests pass the same
+        pairs and compare.
+        """
+        return self == Configuration.from_pairs([(node, tuple(colors)) for node, colors in pairs])

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by the simulator, the rule engine, or the model
+checker with a single ``except`` clause, while still being able to
+distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GridError",
+    "ConfigurationError",
+    "RuleError",
+    "GuardError",
+    "AlgorithmError",
+    "SchedulerError",
+    "SimulationError",
+    "AmbiguousActionError",
+    "IllegalMoveError",
+    "NonTerminationError",
+    "VerificationError",
+    "ModelCheckingError",
+    "StateSpaceLimitExceeded",
+]
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the :mod:`repro` library."""
+
+
+class GridError(ReproError):
+    """Raised for invalid grid dimensions or out-of-grid node references."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for malformed robot configurations (e.g. robots off the grid)."""
+
+
+class RuleError(ReproError):
+    """Raised for malformed rules (unknown colors, invalid movements...)."""
+
+
+class GuardError(RuleError):
+    """Raised for malformed guards (offsets outside the visibility ball...)."""
+
+
+class AlgorithmError(ReproError):
+    """Raised for inconsistent algorithm specifications."""
+
+
+class SchedulerError(ReproError):
+    """Raised when a scheduler produces an invalid activation choice."""
+
+
+class SimulationError(ReproError):
+    """Base class of errors occurring while executing an algorithm."""
+
+
+class AmbiguousActionError(SimulationError):
+    """A robot matched several rules/views with *different* outcomes.
+
+    The paper resolves such ties through the scheduler; deterministic
+    simulation modes may instead treat ambiguity as an error to surface
+    unintended nondeterminism in a rule set.
+    """
+
+
+class IllegalMoveError(SimulationError):
+    """A robot attempted to move off the grid."""
+
+
+class NonTerminationError(SimulationError):
+    """A bounded simulation exceeded its step budget without terminating."""
+
+
+class VerificationError(ReproError):
+    """A verification campaign found a violated property."""
+
+
+class ModelCheckingError(ReproError):
+    """Base class of model-checker errors."""
+
+
+class StateSpaceLimitExceeded(ModelCheckingError):
+    """The exhaustive state-space exploration hit its state budget."""

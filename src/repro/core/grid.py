@@ -1,0 +1,215 @@
+"""Finite grid graphs (the paper's ``m x n`` grids).
+
+The paper (Section 2.1) considers a simple connected graph ``G = (V, E)``
+where ``V = {v_{i,j}}`` for ``i in [0, m)`` and ``j in [0, n)`` and two nodes
+are adjacent iff their index distance is one.  Indices are for notation
+only: robots cannot read them.  This module provides the topology together
+with the node classifications used in the impossibility proof (Section 3):
+
+* an *end node* has degree smaller than four (equivalently, it lies on the
+  grid boundary);
+* an *inner node* is at distance at least three from every end node.
+
+Global directions (Figure 1) are named North (``i - 1``), South (``i + 1``),
+West (``j - 1``) and East (``j + 1``); they exist only in the simulator's
+frame of reference, never in a robot's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from .errors import GridError
+
+__all__ = [
+    "Node",
+    "Direction",
+    "NORTH",
+    "SOUTH",
+    "EAST",
+    "WEST",
+    "DIRECTIONS",
+    "DIRECTION_NAMES",
+    "opposite",
+    "Grid",
+]
+
+#: A grid node, identified by its (row, column) pair ``(i, j)``.
+Node = Tuple[int, int]
+
+#: A unit step on the grid expressed as an ``(di, dj)`` offset.
+Direction = Tuple[int, int]
+
+#: One step toward smaller row index (the paper's North).
+NORTH: Direction = (-1, 0)
+#: One step toward larger row index (the paper's South).
+SOUTH: Direction = (1, 0)
+#: One step toward larger column index (the paper's East).
+EAST: Direction = (0, 1)
+#: One step toward smaller column index (the paper's West).
+WEST: Direction = (0, -1)
+
+#: Name -> offset mapping for the four global directions.
+DIRECTIONS: Dict[str, Direction] = {
+    "N": NORTH,
+    "S": SOUTH,
+    "E": EAST,
+    "W": WEST,
+}
+
+#: Offset -> name mapping (inverse of :data:`DIRECTIONS`).
+DIRECTION_NAMES: Dict[Direction, str] = {offset: name for name, offset in DIRECTIONS.items()}
+
+
+def opposite(direction: Direction) -> Direction:
+    """Return the opposite of a unit direction."""
+    return (-direction[0], -direction[1])
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A finite ``m x n`` grid graph.
+
+    Parameters
+    ----------
+    m:
+        Number of rows (the paper's first index, increasing toward South).
+    n:
+        Number of columns (the paper's second index, increasing toward East).
+    """
+
+    m: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.n < 1:
+            raise GridError(f"grid dimensions must be positive, got {self.m}x{self.n}")
+
+    # ------------------------------------------------------------------
+    # Basic topology
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes ``m * n``."""
+        return self.m * self.n
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of edges of the grid graph."""
+        return self.m * (self.n - 1) + self.n * (self.m - 1)
+
+    def contains(self, node: Node) -> bool:
+        """Whether ``node`` is a node of the grid."""
+        i, j = node
+        return 0 <= i < self.m and 0 <= j < self.n
+
+    def require(self, node: Node) -> Node:
+        """Return ``node`` if it belongs to the grid, raise otherwise."""
+        if not self.contains(node):
+            raise GridError(f"node {node} is outside the {self.m}x{self.n} grid")
+        return node
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes in row-major (North-to-South, West-to-East) order."""
+        for i in range(self.m):
+            for j in range(self.n):
+                yield (i, j)
+
+    def neighbors(self, node: Node) -> List[Node]:
+        """The (2 to 4) neighbors of a node, in N, S, E, W order."""
+        self.require(node)
+        i, j = node
+        result = []
+        for di, dj in (NORTH, SOUTH, EAST, WEST):
+            candidate = (i + di, j + dj)
+            if self.contains(candidate):
+                result.append(candidate)
+        return result
+
+    def degree(self, node: Node) -> int:
+        """Degree of ``node`` in the grid graph."""
+        return len(self.neighbors(node))
+
+    def step(self, node: Node, direction: Direction) -> Node:
+        """The node one step from ``node`` in ``direction`` (may be off-grid)."""
+        return (node[0] + direction[0], node[1] + direction[1])
+
+    # ------------------------------------------------------------------
+    # Distances and node classes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def distance(first: Node, second: Node) -> int:
+        """Graph (Manhattan) distance between two nodes."""
+        return abs(first[0] - second[0]) + abs(first[1] - second[1])
+
+    def is_end_node(self, node: Node) -> bool:
+        """Whether ``node`` is an *end node* (degree smaller than four).
+
+        On a grid these are exactly the boundary nodes.
+        """
+        return self.degree(node) < 4
+
+    def boundary_distance(self, node: Node) -> int:
+        """Distance from ``node`` to the nearest end (boundary) node."""
+        self.require(node)
+        i, j = node
+        if self.m == 1 and self.n == 1:
+            return 0
+        return min(i, self.m - 1 - i, j, self.n - 1 - j)
+
+    def is_inner_node(self, node: Node) -> bool:
+        """Whether ``node`` is an *inner node*.
+
+        The paper (Section 3) defines an inner node as a node whose distance
+        to every end node is at least three; on a grid that is equivalent to
+        being at distance at least three from the boundary.
+        """
+        return self.boundary_distance(node) >= 3
+
+    def end_nodes(self) -> List[Node]:
+        """All end nodes of the grid."""
+        return [node for node in self.nodes() if self.is_end_node(node)]
+
+    def inner_nodes(self) -> List[Node]:
+        """All inner nodes of the grid."""
+        return [node for node in self.nodes() if self.is_inner_node(node)]
+
+    def corners(self) -> List[Node]:
+        """The (up to four distinct) corner nodes."""
+        unique = {(0, 0), (0, self.n - 1), (self.m - 1, 0), (self.m - 1, self.n - 1)}
+        return sorted(unique)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def ball(self, node: Node, radius: int) -> List[Node]:
+        """All grid nodes within graph distance ``radius`` of ``node``."""
+        self.require(node)
+        i, j = node
+        result = []
+        for di in range(-radius, radius + 1):
+            remaining = radius - abs(di)
+            for dj in range(-remaining, remaining + 1):
+                candidate = (i + di, j + dj)
+                if self.contains(candidate):
+                    result.append(candidate)
+        return result
+
+    def boustrophedon_order(self) -> List[Node]:
+        """The snake-like route of Figure 3.
+
+        Starting at the northwest corner ``v_{0,0}``, traverse row 0 toward
+        the East, then row 1 toward the West, and so on, alternating
+        direction on every row.  Every terminating-exploration algorithm of
+        the paper visits nodes in an order compatible with this route.
+        """
+        order: List[Node] = []
+        for i in range(self.m):
+            columns = range(self.n) if i % 2 == 0 else range(self.n - 1, -1, -1)
+            for j in columns:
+                order.append((i, j))
+        return order
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"Grid({self.m}x{self.n})"

@@ -1,0 +1,238 @@
+"""Views, visibility balls and the symmetry group of the grid.
+
+A myopic robot observes the multiset of colors of every node within graph
+distance ``phi`` of its own node (Section 2.2 of the paper).  Because robots
+have no compass, the snapshot is only defined up to a rotation of the plane;
+without a common chirality it is additionally only defined up to a mirror
+reflection.  The paper expresses this by saying the robot "obtains" four
+(resp. eight) views ``V_{phi,nu}, V_{phi,e}, ...`` and cannot tell which is
+which.
+
+This module provides
+
+* :func:`ball_offsets` — the relative offsets of the radius-``phi``
+  visibility ball (13 cells for ``phi = 2``, 5 for ``phi = 1``);
+* :class:`Symmetry` and the :data:`ROTATIONS` / :data:`ALL_SYMMETRIES`
+  groups — the dihedral group D4 acting on offsets, split into the four
+  orientation-preserving rotations (available with a common chirality) and
+  all eight symmetries (no common chirality);
+* :func:`snapshot_contents` — extraction of the local snapshot around a
+  node: a mapping from relative offsets to either ``None`` (the paper's
+  ``⊥``: the node does not exist) or a sorted color multiset (possibly
+  empty, the paper's ``∅``);
+* :func:`view_tuple` — the flattened view sequences of Section 2.2, mostly
+  useful for documentation and for tests that cross-check the symmetry
+  machinery against the paper's explicit view definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from .colors import ColorMultiset
+from .grid import Grid, Node
+from .robot import Robot
+
+__all__ = [
+    "Offset",
+    "CellContent",
+    "ball_offsets",
+    "Symmetry",
+    "IDENTITY",
+    "ROTATIONS",
+    "REFLECTIONS",
+    "ALL_SYMMETRIES",
+    "symmetries_for",
+    "snapshot_contents",
+    "Snapshot",
+    "view_tuple",
+]
+
+#: A relative offset ``(di, dj)`` from the observing robot's node.
+Offset = Tuple[int, int]
+
+#: The content of one visible cell: ``None`` encodes the paper's ``⊥``
+#: (the node does not exist), a tuple of colors encodes the multiset of
+#: lights on the node (the empty tuple is the paper's ``∅``).
+CellContent = Optional[ColorMultiset]
+
+#: A full local snapshot: offset -> cell content over the visibility ball.
+Snapshot = Dict[Offset, CellContent]
+
+
+@lru_cache(maxsize=None)
+def ball_offsets(phi: int) -> Tuple[Offset, ...]:
+    """Relative offsets of the radius-``phi`` visibility ball, centre included.
+
+    Offsets are returned sorted lexicographically so that iteration order is
+    deterministic across the library.
+    """
+    if phi < 0:
+        raise ValueError("phi must be non-negative")
+    offsets: List[Offset] = []
+    for di in range(-phi, phi + 1):
+        remaining = phi - abs(di)
+        for dj in range(-remaining, remaining + 1):
+            offsets.append((di, dj))
+    return tuple(sorted(offsets))
+
+
+@dataclass(frozen=True)
+class Symmetry:
+    """An element of the dihedral group D4 acting on relative offsets.
+
+    The action is the integer linear map ``(di, dj) -> (a*di + b*dj,
+    c*di + d*dj)``.  Rotations have determinant ``+1`` and are exactly the
+    transformations available to robots sharing a common chirality;
+    reflections (determinant ``-1``) additionally arise when robots do not
+    agree on a chirality.
+    """
+
+    name: str
+    a: int
+    b: int
+    c: int
+    d: int
+
+    def apply(self, offset: Offset) -> Offset:
+        """Apply the symmetry to a relative offset."""
+        di, dj = offset
+        return (self.a * di + self.b * dj, self.c * di + self.d * dj)
+
+    @property
+    def determinant(self) -> int:
+        """Determinant of the underlying linear map (+1 or -1)."""
+        return self.a * self.d - self.b * self.c
+
+    @property
+    def is_rotation(self) -> bool:
+        """Whether the symmetry preserves orientation (chirality)."""
+        return self.determinant == 1
+
+    def compose(self, other: "Symmetry") -> "Symmetry":
+        """The symmetry ``self ∘ other`` (first ``other``, then ``self``)."""
+        return Symmetry(
+            name=f"{self.name}*{other.name}",
+            a=self.a * other.a + self.b * other.c,
+            b=self.a * other.b + self.b * other.d,
+            c=self.c * other.a + self.d * other.c,
+            d=self.c * other.b + self.d * other.d,
+        )
+
+    def matrix(self) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """The 2x2 integer matrix of the map."""
+        return ((self.a, self.b), (self.c, self.d))
+
+
+#: The identity symmetry.
+IDENTITY = Symmetry("id", 1, 0, 0, 1)
+#: Rotation by 90 degrees.
+ROT90 = Symmetry("rot90", 0, -1, 1, 0)
+#: Rotation by 180 degrees.
+ROT180 = Symmetry("rot180", -1, 0, 0, -1)
+#: Rotation by 270 degrees.
+ROT270 = Symmetry("rot270", 0, 1, -1, 0)
+#: Reflection swapping East and West (mirror across the North-South axis).
+FLIP_EW = Symmetry("flipEW", 1, 0, 0, -1)
+#: Reflection swapping North and South.
+FLIP_NS = Symmetry("flipNS", -1, 0, 0, 1)
+#: Reflection across the main diagonal.
+TRANSPOSE = Symmetry("transpose", 0, 1, 1, 0)
+#: Reflection across the anti-diagonal.
+ANTITRANSPOSE = Symmetry("antitranspose", 0, -1, -1, 0)
+
+#: Orientation-preserving symmetries: available with a common chirality.
+ROTATIONS: Tuple[Symmetry, ...] = (IDENTITY, ROT90, ROT180, ROT270)
+#: Orientation-reversing symmetries.
+REFLECTIONS: Tuple[Symmetry, ...] = (FLIP_EW, FLIP_NS, TRANSPOSE, ANTITRANSPOSE)
+#: The full dihedral group: available without a common chirality.
+ALL_SYMMETRIES: Tuple[Symmetry, ...] = ROTATIONS + REFLECTIONS
+
+
+def symmetries_for(chirality: bool) -> Tuple[Symmetry, ...]:
+    """The symmetries under which a guard may match.
+
+    With a common chirality the robots agree on clockwise, so only the four
+    rotations are possible; without it, mirror images must be considered as
+    well (Section 2.2).
+    """
+    return ROTATIONS if chirality else ALL_SYMMETRIES
+
+
+def snapshot_contents(grid: Grid, robots, center: Node, phi: int) -> Snapshot:
+    """The local snapshot a robot located at ``center`` would take.
+
+    Parameters
+    ----------
+    grid:
+        The grid graph.
+    robots:
+        Iterable of :class:`~repro.core.robot.Robot`; every robot within
+        distance ``phi`` of ``center`` contributes its color (including any
+        robot located *at* ``center`` — the paper's ``M_{i,j}`` contains the
+        observer itself).
+    center:
+        The observing robot's node.
+    phi:
+        Visibility radius.
+
+    Returns
+    -------
+    dict
+        Mapping each relative offset of the visibility ball to ``None``
+        (off-grid) or to the sorted multiset of colors on that node.
+    """
+    per_node: Dict[Node, List[str]] = {}
+    for robot in robots:
+        if Grid.distance(robot.pos, center) <= phi:
+            per_node.setdefault(robot.pos, []).append(robot.color)
+
+    snapshot: Snapshot = {}
+    for offset in ball_offsets(phi):
+        node = (center[0] + offset[0], center[1] + offset[1])
+        if not grid.contains(node):
+            snapshot[offset] = None
+        else:
+            snapshot[offset] = tuple(sorted(per_node.get(node, ())))
+    return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Paper-style flattened views (Section 2.2)
+# ---------------------------------------------------------------------------
+
+#: Reading order of the phi = 1 North view
+#: ``V_{1,nu} = (c_r, M_{i-1,j}, M_{i,j-1}, M_{i,j}, M_{i,j+1}, M_{i+1,j})``.
+_VIEW_ORDER_PHI1: Tuple[Offset, ...] = ((-1, 0), (0, -1), (0, 0), (0, 1), (1, 0))
+
+#: Reading order of the phi = 2 North view (Section 2.2), row by row.
+_VIEW_ORDER_PHI2: Tuple[Offset, ...] = (
+    (-2, 0),
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, -2),
+    (0, -1),
+    (0, 0),
+    (0, 1),
+    (0, 2),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+    (2, 0),
+)
+
+
+def view_tuple(snapshot: Snapshot, observer_color: str, symmetry: Symmetry, phi: int):
+    """The paper's flattened view sequence under a given symmetry.
+
+    ``view_tuple(snapshot, c, IDENTITY, 1)`` equals the North view
+    ``V_{1,nu}``; applying the other rotations yields the East, South and
+    West views, and the reflections yield their mirror images — exactly the
+    eight sequences listed in Section 2.2.
+    """
+    order = _VIEW_ORDER_PHI1 if phi == 1 else _VIEW_ORDER_PHI2
+    cells = tuple(snapshot[symmetry.apply(offset)] for offset in order)
+    return (observer_color,) + cells

@@ -1,0 +1,14 @@
+"""Theorem 1 machinery: the SSYNC/ASYNC lower bound for phi = 1 and k = 2."""
+
+from .refuter import AdversaryWitness, adversary_prevents_node, refute_terminating_exploration
+from .candidates import candidate_two_robot_algorithms
+from .theorem1 import Theorem1Report, demonstrate_theorem1
+
+__all__ = [
+    "AdversaryWitness",
+    "adversary_prevents_node",
+    "refute_terminating_exploration",
+    "candidate_two_robot_algorithms",
+    "Theorem1Report",
+    "demonstrate_theorem1",
+]

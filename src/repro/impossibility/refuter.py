@@ -1,0 +1,166 @@
+"""An exact per-candidate refuter for terminating exploration.
+
+Theorem 1 of the paper states that with ``phi = 1`` and ``k = 2`` *no*
+algorithm solves terminating exploration in SSYNC (hence ASYNC), whatever
+the number of colors and the chirality assumption.  A universally
+quantified statement cannot be established by simulation, but its
+*operational content* can: for any **given** candidate algorithm the
+adversarial scheduler of the proof wins, and on a finite grid that win is
+decidable exactly.
+
+The adversary controls every source of nondeterminism (which robots are
+activated, and which matching view/rule is executed when several apply),
+so "the adversary can forever prevent node ``v`` from being visited" is a
+plain reachability question on the scheduler-state graph restricted to
+states in which ``v`` is unoccupied:
+
+* if the adversary can reach a **terminal** state without ever occupying
+  ``v``, exploration fails (the run ends with ``v`` unvisited);
+* if the adversary can reach a **cycle** without ever occupying ``v``,
+  exploration fails as well (the run can be prolonged forever while
+  keeping ``v`` unvisited — this is the confinement argument of the
+  paper's proof, where the two robots are made to oscillate between two
+  pairs of nodes).
+
+:func:`refute_terminating_exploration` searches for such a node and
+returns a witness; it is used by :mod:`repro.impossibility.theorem1` to
+demonstrate Theorem 1 on concrete candidate algorithms, and by the test
+suite as a sanity check that it does *not* refute the paper's own 3-robot
+phi = 1 ASYNC algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..checking.model_checker import successors
+from ..checking.states import SchedulerState, initial_state
+from ..core.algorithm import Algorithm
+from ..core.errors import StateSpaceLimitExceeded
+from ..core.grid import Grid, Node
+
+__all__ = ["AdversaryWitness", "adversary_prevents_node", "refute_terminating_exploration"]
+
+
+@dataclass
+class AdversaryWitness:
+    """Evidence that the adversary defeats a candidate algorithm."""
+
+    algorithm: str
+    model: str
+    m: int
+    n: int
+    node: Node
+    kind: str  # "terminal" or "cycle"
+    states_explored: int
+
+    def __str__(self) -> str:
+        how = (
+            "reaches a terminal configuration"
+            if self.kind == "terminal"
+            else "can run forever (confinement cycle)"
+        )
+        return (
+            f"{self.algorithm} on {self.m}x{self.n} [{self.model}]: the adversary {how}"
+            f" while node {self.node} is never visited"
+        )
+
+
+def adversary_prevents_node(
+    algorithm: Algorithm,
+    grid: Grid,
+    node: Node,
+    model: str = "SSYNC",
+    max_states: int = 200_000,
+) -> Optional[AdversaryWitness]:
+    """Decide whether the adversary can keep ``node`` unvisited forever.
+
+    Returns a witness if it can, ``None`` otherwise.  The initial
+    configuration must not already occupy ``node`` (otherwise the node is
+    trivially visited and ``None`` is returned).
+    """
+    root = initial_state(algorithm, grid)
+    if node in root.occupied_nodes():
+        return None
+
+    graph: Dict[SchedulerState, List[SchedulerState]] = {}
+    on_path: Set[SchedulerState] = set()
+    found: Optional[str] = None
+
+    def expand(state: SchedulerState) -> List[SchedulerState]:
+        if state not in graph:
+            if len(graph) >= max_states:
+                raise StateSpaceLimitExceeded(
+                    f"{algorithm.name} on {grid.m}x{grid.n}: more than {max_states} states"
+                )
+            graph[state] = [
+                nxt for nxt in successors(algorithm, grid, state, model) if node not in nxt.occupied_nodes()
+            ]
+        return graph[state]
+
+    # Iterative DFS looking for a terminal state or a cycle within the
+    # restricted (node never occupied) graph.
+    visited: Set[SchedulerState] = set()
+    stack: List[Tuple[SchedulerState, int]] = [(root, 0)]
+    on_path.add(root)
+    visited.add(root)
+    # A state is terminal for the adversary if the *unrestricted* system has
+    # no successor (no robot enabled); restricted-away successors do not
+    # count as termination.
+    while stack and found is None:
+        state, child_index = stack[-1]
+        unrestricted = successors(algorithm, grid, state, model)
+        if not unrestricted:
+            found = "terminal"
+            break
+        children = expand(state)
+        if child_index < len(children):
+            stack[-1] = (state, child_index + 1)
+            child = children[child_index]
+            if child in on_path:
+                found = "cycle"
+                break
+            if child not in visited:
+                visited.add(child)
+                on_path.add(child)
+                stack.append((child, 0))
+        else:
+            on_path.discard(state)
+            stack.pop()
+
+    if found is None:
+        return None
+    return AdversaryWitness(
+        algorithm=algorithm.name,
+        model=model,
+        m=grid.m,
+        n=grid.n,
+        node=node,
+        kind=found,
+        states_explored=len(visited),
+    )
+
+
+def refute_terminating_exploration(
+    algorithm: Algorithm,
+    grid: Grid,
+    model: str = "SSYNC",
+    max_states: int = 200_000,
+) -> Optional[AdversaryWitness]:
+    """Find some node the adversary can keep unvisited forever, if any.
+
+    Nodes are tried from the centre of the grid outward (inner nodes are
+    the ones the proof of Theorem 1 confines the robots away from), so a
+    witness is usually found quickly when one exists.
+    """
+    center = ((grid.m - 1) / 2.0, (grid.n - 1) / 2.0)
+    nodes = sorted(
+        grid.nodes(),
+        key=lambda node: abs(node[0] - center[0]) + abs(node[1] - center[1]),
+    )
+    for node in nodes:
+        witness = adversary_prevents_node(algorithm, grid, node, model=model, max_states=max_states)
+        if witness is not None:
+            return witness
+    return None

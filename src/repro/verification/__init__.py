@@ -1,0 +1,19 @@
+"""Simulation-based verification campaigns for terminating exploration."""
+
+from .campaigns import (
+    GridSweepReport,
+    VerificationReport,
+    grid_sweep,
+    stress_test,
+    verify_algorithm,
+    verify_terminating_exploration,
+)
+
+__all__ = [
+    "VerificationReport",
+    "GridSweepReport",
+    "verify_terminating_exploration",
+    "verify_algorithm",
+    "grid_sweep",
+    "stress_test",
+]

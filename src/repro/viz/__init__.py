@@ -1,0 +1,12 @@
+"""ASCII visualisation of configurations, executions and paper figures."""
+
+from .ascii import render_configuration, render_trace, render_world
+from .figures import FigureFrame, render_figure_sequence
+
+__all__ = [
+    "render_configuration",
+    "render_trace",
+    "render_world",
+    "FigureFrame",
+    "render_figure_sequence",
+]

@@ -1,0 +1,78 @@
+"""Plain-text rendering of grids and configurations.
+
+No plotting dependency is available offline, and the paper's figures are
+themselves small schematic grids, so ASCII rendering is both sufficient and
+faithful.  Each node is drawn as a fixed-width cell containing the multiset
+of lights hosted by the node (``.`` for an empty node).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.configuration import Configuration
+from ..core.grid import Grid
+from ..core.world import World
+
+__all__ = ["render_configuration", "render_world", "render_trace"]
+
+
+def _cell_text(colors: Sequence[str]) -> str:
+    if not colors:
+        return "."
+    return "".join(colors)
+
+
+def render_configuration(
+    grid: Grid,
+    configuration: Configuration,
+    visited: Optional[Iterable] = None,
+) -> str:
+    """Render a configuration as a text grid.
+
+    Occupied nodes show the (sorted) colors of their robots; empty nodes
+    show ``.``; if ``visited`` is given, already-visited empty nodes show
+    ``*`` instead, which makes exploration progress visible in traces.
+    """
+    visited_set = set(visited) if visited is not None else set()
+    width = 1
+    cells: List[List[str]] = []
+    for i in range(grid.m):
+        row = []
+        for j in range(grid.n):
+            colors = configuration.colors_at((i, j))
+            if colors:
+                text = _cell_text(colors)
+            elif (i, j) in visited_set:
+                text = "*"
+            else:
+                text = "."
+            width = max(width, len(text))
+            row.append(text)
+        cells.append(row)
+    lines = []
+    for row in cells:
+        lines.append(" ".join(text.rjust(width) for text in row))
+    return "\n".join(lines)
+
+
+def render_world(world: World, visited: Optional[Iterable] = None) -> str:
+    """Render the current state of a :class:`~repro.core.world.World`."""
+    return render_configuration(world.grid, world.configuration(), visited)
+
+
+def render_trace(
+    grid: Grid,
+    trace: Sequence[Configuration],
+    limit: Optional[int] = None,
+    separator: str = "\n\n",
+) -> str:
+    """Render a sequence of configurations, numbered, separated by blank lines."""
+    frames = []
+    selected = trace if limit is None else trace[:limit]
+    for index, configuration in enumerate(selected):
+        body = render_configuration(grid, configuration)
+        frames.append(f"[{index}]\n{body}")
+    if limit is not None and len(trace) > limit:
+        frames.append(f"... ({len(trace) - limit} more configurations)")
+    return separator.join(frames)

@@ -1,0 +1,80 @@
+"""Reproduction helpers for the paper's execution figures (Figs. 3-25).
+
+Each figure of Section 4 shows a short window of an execution: a sequence
+of configurations annotated with the rules that fire between them.  The
+tests and benchmarks reproduce those windows by running the corresponding
+algorithm, locating the window inside the recorded trace and rendering it.
+
+This module provides the small amount of machinery needed for that:
+:class:`FigureFrame` (one labelled configuration), trace searching, and a
+text renderer producing the figure as ASCII art.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..core.configuration import Configuration
+from ..core.grid import Grid
+from .ascii import render_configuration
+
+__all__ = [
+    "FigureFrame",
+    "find_index",
+    "find_subtrace",
+    "render_figure_sequence",
+]
+
+
+@dataclass(frozen=True)
+class FigureFrame:
+    """One labelled sub-figure, e.g. ``("Fig. 4(a)", configuration)``."""
+
+    label: str
+    configuration: Configuration
+
+
+def find_index(
+    trace: Sequence[Configuration],
+    predicate: Callable[[Configuration], bool],
+    start: int = 0,
+) -> Optional[int]:
+    """Index of the first configuration satisfying ``predicate``, from ``start``."""
+    for index in range(start, len(trace)):
+        if predicate(trace[index]):
+            return index
+    return None
+
+
+def find_subtrace(
+    trace: Sequence[Configuration],
+    frames: Sequence[Configuration],
+) -> Optional[int]:
+    """Find ``frames`` occurring in order (not necessarily contiguously) in ``trace``.
+
+    Returns the index at which the first frame occurs, or ``None`` if the
+    frames do not all occur in order.  Figure windows of the paper list the
+    key configurations of a phase; between two of them the simulator may
+    record additional intermediate configurations (for example in ASYNC
+    executions), hence the subsequence — rather than substring — semantics.
+    """
+    cursor = 0
+    first_index: Optional[int] = None
+    for frame in frames:
+        index = find_index(trace, lambda c, f=frame: c == f, start=cursor)
+        if index is None:
+            return None
+        if first_index is None:
+            first_index = index
+        cursor = index + 1
+    return first_index
+
+
+def render_figure_sequence(grid: Grid, frames: Sequence[FigureFrame]) -> str:
+    """Render a figure as a vertical sequence of labelled ASCII grids."""
+    blocks: List[str] = []
+    for frame in frames:
+        body = render_configuration(grid, frame.configuration)
+        blocks.append(f"--- {frame.label} ---\n{body}")
+    return "\n".join(blocks)

@@ -1,0 +1,140 @@
+"""Checks of the exact configurations the paper states in Section 4.
+
+For each algorithm the paper spells out the initial configuration and the
+terminal configuration(s) for odd and even ``m``.  These tests run the
+algorithms and compare against those explicit configurations (using the
+paper's coordinates anchored at the northwest corner).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import get
+from repro.core import Configuration, Grid, TieBreak, run_fsync
+
+
+def final_config(name, m, n, tie_break=TieBreak.FIRST):
+    algorithm = get(name)
+    result = run_fsync(algorithm, Grid(m, n), tie_break=tie_break)
+    assert result.is_terminating_exploration
+    return result.final
+
+
+class TestAlgorithm1Endings:
+    """Section 4.2.1, 'End of exploration'."""
+
+    def test_odd_m_ends_in_southeast_corner(self):
+        m, n = 5, 6
+        expected = Configuration.from_pairs([((m - 1, n - 2), ("G",)), ((m - 1, n - 1), ("W",))])
+        assert final_config("fsync_phi2_l2_chir_k2", m, n) == expected
+
+    def test_even_m_ends_stacked_on_second_column(self):
+        m, n = 4, 6
+        expected = Configuration.from_pairs([((m - 1, 1), ("G", "W"))])
+        assert final_config("fsync_phi2_l2_chir_k2", m, n) == expected
+
+
+class TestAlgorithm3Endings:
+    """Section 4.2.5, 'End of exploration'."""
+
+    def test_odd_m_ends_stacked_in_southeast_corner(self):
+        m, n = 5, 5
+        expected = Configuration.from_pairs([((m - 1, n - 1), ("G", "W"))])
+        assert final_config("fsync_phi1_l3_chir_k2", m, n) == expected
+
+    def test_even_m_ends_stacked_in_southwest_corner(self):
+        m, n = 4, 5
+        expected = Configuration.from_pairs([((m - 1, 0), ("G", "B"))])
+        assert final_config("fsync_phi1_l3_chir_k2", m, n) == expected
+
+
+class TestAlgorithm5Endings:
+    """Section 4.2.7, 'End of exploration'."""
+
+    def test_odd_m_ends_with_three_robots_in_southwest_corner(self):
+        m, n = 5, 4
+        expected = Configuration.from_pairs([((m - 1, 0), ("G", "G", "W"))])
+        assert final_config("fsync_phi1_l2_chir_k3", m, n) == expected
+
+    def test_even_m_ends_with_three_robots_in_southeast_corner(self):
+        m, n = 4, 5
+        expected = Configuration.from_pairs([((m - 1, n - 1), ("G", "W", "W"))])
+        assert final_config("fsync_phi1_l2_chir_k3", m, n) == expected
+
+
+class TestAlgorithm4Endings:
+    """Section 4.2.6, 'End of exploration' (m odd case spelled out)."""
+
+    def test_odd_m_ending(self):
+        m, n = 5, 5
+        expected = Configuration.from_pairs(
+            [((m - 2, 0), ("G",)), ((m - 1, 0), ("W", "W", "B"))]
+        )
+        assert final_config("fsync_phi1_l3_nochir_k4", m, n) == expected
+
+
+class TestAlgorithm6Endings:
+    """Section 4.3.1, 'End of exploration'."""
+
+    def test_odd_m_ends_in_southeast_corner(self):
+        m, n = 5, 6
+        expected = Configuration.from_pairs([((m - 1, n - 2), ("G",)), ((m - 1, n - 1), ("W",))])
+        assert final_config("async_phi2_l3_chir_k2", m, n) == expected
+
+    def test_even_m_ends_in_southwest_corner(self):
+        m, n = 4, 6
+        expected = Configuration.from_pairs([((m - 1, 0), ("B",)), ((m - 1, 1), ("W",))])
+        assert final_config("async_phi2_l3_chir_k2", m, n) == expected
+
+
+class TestAlgorithm7Endings:
+    """Section 4.3.2, 'End of exploration' (m odd case spelled out)."""
+
+    def test_odd_m_ending(self):
+        m, n = 5, 6
+        expected = Configuration.from_pairs(
+            [((m - 2, 1), ("G",)), ((m - 1, 0), ("W",)), ((m - 1, 1), ("B",))]
+        )
+        assert final_config("async_phi2_l3_nochir_k3", m, n) == expected
+
+
+class TestAlgorithm10Endings:
+    """Section 4.3.5, 'End of exploration'."""
+
+    def test_odd_m_ends_stacked_in_southeast_corner(self):
+        m, n = 5, 5
+        expected = Configuration.from_pairs([((m - 1, n - 2), ("G",)), ((m - 1, n - 1), ("G", "W"))])
+        assert final_config("async_phi1_l3_chir_k3", m, n) == expected
+
+    def test_even_m_ends_at_the_west_end(self):
+        m, n = 4, 5
+        expected = Configuration.from_pairs([((m - 1, 0), ("W", "B")), ((m - 1, 1), ("W",))])
+        assert final_config("async_phi1_l3_chir_k3", m, n) == expected
+
+
+@pytest.mark.parametrize(
+    "name,placement",
+    [
+        ("fsync_phi2_l2_chir_k2", [((0, 0), ("G",)), ((0, 1), ("W",))]),
+        ("fsync_phi2_l2_nochir_k3", [((0, 0), ("G",)), ((0, 1), ("G",)), ((1, 0), ("W",))]),
+        ("fsync_phi1_l3_chir_k2", [((0, 0), ("G",)), ((0, 1), ("W",))]),
+        (
+            "fsync_phi1_l3_nochir_k4",
+            [((0, 0), ("G",)), ((0, 1), ("W",)), ((1, 0), ("B",)), ((1, 1), ("W",))],
+        ),
+        ("fsync_phi1_l2_chir_k3", [((0, 0), ("G",)), ((0, 1), ("G",)), ((1, 0), ("W",))]),
+        ("async_phi2_l3_chir_k2", [((0, 0), ("G",)), ((0, 1), ("W",))]),
+        ("async_phi2_l3_nochir_k3", [((0, 0), ("G",)), ((0, 1), ("W",)), ((1, 0), ("B",))]),
+        ("async_phi2_l2_chir_k3", [((0, 0), ("G",)), ((0, 1), ("W",)), ((1, 0), ("G",))]),
+        (
+            "async_phi2_l2_nochir_k4",
+            [((0, 0), ("G",)), ((0, 1), ("W",)), ((0, 2), ("W",)), ((1, 0), ("W",))],
+        ),
+        ("async_phi1_l3_chir_k3", [((0, 0), ("G",)), ((0, 1), ("W",)), ((0, 2), ("W",))]),
+    ],
+)
+def test_initial_configurations_match_the_paper(name, placement):
+    algorithm = get(name)
+    world = algorithm.initial_world(Grid(max(3, algorithm.min_m), max(4, algorithm.min_n)))
+    assert world.configuration() == Configuration.from_pairs(placement)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import core
+from repro.algorithms import all_algorithms, get
+
+
+@pytest.fixture(scope="session")
+def algorithms():
+    """All registered algorithms keyed by name."""
+    return all_algorithms()
+
+
+@pytest.fixture(scope="session")
+def fsync_algorithms(algorithms):
+    """The eight FSYNC rows of Table 1."""
+    return [a for a in algorithms.values() if a.synchrony == "FSYNC"]
+
+
+@pytest.fixture(scope="session")
+def async_algorithms(algorithms):
+    """The SSYNC/ASYNC rows of Table 1."""
+    return [a for a in algorithms.values() if a.synchrony == "ASYNC"]
+
+
+@pytest.fixture
+def small_grid():
+    return core.Grid(3, 4)
+
+
+@pytest.fixture
+def algorithm1():
+    """Algorithm 1 of the paper (the quickstart algorithm)."""
+    return get("fsync_phi2_l2_chir_k2")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--thorough",
+        action="store_true",
+        default=False,
+        help="run the larger verification sweeps (slower)",
+    )
+
+
+@pytest.fixture(scope="session")
+def thorough(request):
+    return request.config.getoption("--thorough")

@@ -1,0 +1,78 @@
+"""Tests for color multisets and configurations (paper Section 2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import B, Configuration, G, Grid, Robot, W, multiset
+from repro.core.colors import multiset_remove, multiset_union, validate_color
+from repro.core.errors import ConfigurationError
+
+
+class TestColors:
+    def test_multiset_is_sorted(self):
+        assert multiset(W, G) == (G, W)
+        assert multiset() == ()
+
+    def test_multiset_keeps_multiplicity(self):
+        assert multiset(G, G, W) == (G, G, W)
+
+    def test_union_and_remove(self):
+        assert multiset_union((G,), (W, G)) == (G, G, W)
+        assert multiset_remove((G, G, W), G) == (G, W)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(ValueError):
+            multiset_remove((G,), B)
+
+    @pytest.mark.parametrize("bad", ["", None, 3])
+    def test_validate_color_rejects(self, bad):
+        with pytest.raises(ValueError):
+            validate_color(bad)
+
+
+class TestConfiguration:
+    def test_from_robots_groups_by_node(self):
+        robots = [Robot(0, (0, 0), G), Robot(1, (0, 1), W), Robot(2, (0, 0), W)]
+        config = Configuration.from_robots(robots)
+        assert config.colors_at((0, 0)) == (G, W)
+        assert config.colors_at((0, 1)) == (W,)
+        assert config.colors_at((1, 1)) == ()
+
+    def test_from_pairs_merges_duplicates(self):
+        config = Configuration.from_pairs([((0, 0), (G,)), ((0, 0), (W,))])
+        assert config.colors_at((0, 0)) == (G, W)
+
+    def test_empty_entries_dropped(self):
+        config = Configuration.from_mapping({(0, 0): (), (0, 1): (G,)})
+        assert config.occupied_nodes() == ((0, 1),)
+
+    def test_equality_is_anonymous(self):
+        first = Configuration.from_robots([Robot(0, (0, 0), G), Robot(1, (1, 1), W)])
+        second = Configuration.from_robots([Robot(7, (1, 1), W), Robot(3, (0, 0), G)])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_robot_count_and_census(self):
+        config = Configuration.from_pairs([((0, 0), (G, W)), ((2, 2), (W,))])
+        assert config.robot_count == 3
+        assert config.color_census() == {G: 1, W: 2}
+
+    def test_contains_and_len(self):
+        config = Configuration.from_pairs([((0, 0), (G,)), ((1, 0), (W,))])
+        assert (0, 0) in config and (5, 5) not in config
+        assert len(config) == 2
+
+    def test_matches_pairs_helper(self):
+        config = Configuration.from_pairs([((1, 2), (G, W))])
+        assert config.matches_pairs([((1, 2), (W, G))])
+        assert not config.matches_pairs([((1, 2), (G,))])
+
+    def test_validate_on_grid(self):
+        config = Configuration.from_pairs([((5, 5), (G,))])
+        with pytest.raises(ConfigurationError):
+            config.validate_on(Grid(2, 2))
+
+    def test_str_uses_paper_notation(self):
+        config = Configuration.from_pairs([((0, 1), (G, W))])
+        assert str(config) == "{(v[0,1], {G,W})}"

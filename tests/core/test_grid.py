@@ -1,0 +1,132 @@
+"""Tests for the grid substrate (paper Section 2.1 and Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EAST, NORTH, SOUTH, WEST, Grid, GridError
+from repro.core.grid import opposite
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        grid = Grid(3, 5)
+        assert grid.m == 3 and grid.n == 5
+        assert grid.num_nodes == 15
+
+    def test_num_edges(self):
+        assert Grid(2, 2).num_edges == 4
+        assert Grid(3, 3).num_edges == 12
+        assert Grid(1, 5).num_edges == 4
+
+    @pytest.mark.parametrize("m,n", [(0, 3), (3, 0), (-1, 2)])
+    def test_invalid_dimensions(self, m, n):
+        with pytest.raises(GridError):
+            Grid(m, n)
+
+
+class TestTopology:
+    def test_contains(self):
+        grid = Grid(2, 3)
+        assert grid.contains((0, 0)) and grid.contains((1, 2))
+        assert not grid.contains((2, 0)) and not grid.contains((0, 3))
+        assert not grid.contains((-1, 0))
+
+    def test_nodes_count_and_order(self):
+        grid = Grid(2, 3)
+        nodes = list(grid.nodes())
+        assert len(nodes) == 6
+        assert nodes[0] == (0, 0) and nodes[-1] == (1, 2)
+
+    def test_neighbors_of_corner(self):
+        grid = Grid(3, 3)
+        assert set(grid.neighbors((0, 0))) == {(0, 1), (1, 0)}
+
+    def test_neighbors_of_center(self):
+        grid = Grid(3, 3)
+        assert set(grid.neighbors((1, 1))) == {(0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_degree(self):
+        grid = Grid(3, 4)
+        assert grid.degree((0, 0)) == 2
+        assert grid.degree((0, 1)) == 3
+        assert grid.degree((1, 1)) == 4
+
+    def test_step_and_directions(self):
+        grid = Grid(3, 3)
+        assert grid.step((1, 1), NORTH) == (0, 1)
+        assert grid.step((1, 1), SOUTH) == (2, 1)
+        assert grid.step((1, 1), EAST) == (1, 2)
+        assert grid.step((1, 1), WEST) == (1, 0)
+
+    def test_opposite(self):
+        assert opposite(NORTH) == SOUTH
+        assert opposite(EAST) == WEST
+
+    def test_require_raises(self):
+        with pytest.raises(GridError):
+            Grid(2, 2).require((5, 5))
+
+    def test_distance_is_manhattan(self):
+        assert Grid.distance((0, 0), (2, 3)) == 5
+        assert Grid.distance((1, 1), (1, 1)) == 0
+
+
+class TestNodeClasses:
+    def test_end_nodes_are_boundary(self):
+        grid = Grid(4, 5)
+        for node in grid.nodes():
+            expected = node[0] in (0, 3) or node[1] in (0, 4)
+            assert grid.is_end_node(node) == expected
+
+    def test_inner_nodes_require_distance_three(self):
+        grid = Grid(9, 9)
+        assert grid.is_inner_node((4, 4))
+        assert grid.is_inner_node((3, 3))
+        assert not grid.is_inner_node((2, 4))
+        assert not grid.is_inner_node((4, 2))
+
+    def test_nine_by_nine_has_nine_inner_nodes(self):
+        # The impossibility proof (Section 3) uses m, n >= 9 so that the grid
+        # has at least nine inner nodes.
+        assert len(Grid(9, 9).inner_nodes()) == 9
+
+    def test_small_grids_have_no_inner_nodes(self):
+        assert Grid(5, 5).inner_nodes() == []
+        assert Grid(6, 8).inner_nodes() == []
+
+    def test_boundary_distance(self):
+        grid = Grid(7, 9)
+        assert grid.boundary_distance((0, 4)) == 0
+        assert grid.boundary_distance((3, 4)) == 3
+
+    def test_corners(self):
+        assert Grid(3, 4).corners() == [(0, 0), (0, 3), (2, 0), (2, 3)]
+        assert Grid(1, 1).corners() == [(0, 0)]
+
+
+class TestBallAndRoute:
+    def test_ball_radius_one_interior(self):
+        grid = Grid(5, 5)
+        assert len(grid.ball((2, 2), 1)) == 5
+
+    def test_ball_radius_two_clipped_at_corner(self):
+        grid = Grid(5, 5)
+        assert len(grid.ball((0, 0), 2)) == 6
+
+    def test_boustrophedon_covers_all_nodes_once(self):
+        grid = Grid(4, 3)
+        route = grid.boustrophedon_order()
+        assert len(route) == grid.num_nodes
+        assert len(set(route)) == grid.num_nodes
+
+    def test_boustrophedon_alternates_direction(self):
+        route = Grid(3, 3).boustrophedon_order()
+        assert route[:3] == [(0, 0), (0, 1), (0, 2)]
+        assert route[3:6] == [(1, 2), (1, 1), (1, 0)]
+        assert route[6:] == [(2, 0), (2, 1), (2, 2)]
+
+    def test_boustrophedon_consecutive_nodes_adjacent(self):
+        route = Grid(5, 6).boustrophedon_order()
+        for first, second in zip(route, route[1:]):
+            assert Grid.distance(first, second) == 1

@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import get
+from repro.core import (
+    ALL_SYMMETRIES,
+    Configuration,
+    DEFAULT_PALETTE,
+    Grid,
+    Robot,
+    ball_offsets,
+    multiset,
+    run_fsync,
+    run_ssync,
+    snapshot_contents,
+)
+from repro.core.scheduler import RandomSubset
+from repro.core.views import IDENTITY
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+grids = st.tuples(st.integers(2, 6), st.integers(2, 6)).map(lambda mn: Grid(*mn))
+colors = st.sampled_from(DEFAULT_PALETTE)
+offsets = st.tuples(st.integers(-2, 2), st.integers(-2, 2))
+
+
+@st.composite
+def populated_grids(draw, max_robots=5):
+    grid = draw(grids)
+    count = draw(st.integers(1, max_robots))
+    robots = []
+    for rid in range(count):
+        i = draw(st.integers(0, grid.m - 1))
+        j = draw(st.integers(0, grid.n - 1))
+        robots.append(Robot(rid=rid, pos=(i, j), color=draw(colors)))
+    return grid, robots
+
+
+# ---------------------------------------------------------------------------
+# Grid properties
+# ---------------------------------------------------------------------------
+@given(grids)
+def test_boustrophedon_is_a_hamiltonian_path(grid):
+    route = grid.boustrophedon_order()
+    assert sorted(route) == sorted(grid.nodes())
+    assert all(Grid.distance(a, b) == 1 for a, b in zip(route, route[1:]))
+
+
+@given(grids, st.data())
+def test_neighbors_are_symmetric(grid, data):
+    node = data.draw(st.sampled_from(list(grid.nodes())))
+    for neighbor in grid.neighbors(node):
+        assert node in grid.neighbors(neighbor)
+
+
+@given(grids, st.data())
+def test_boundary_distance_matches_definition(grid, data):
+    node = data.draw(st.sampled_from(list(grid.nodes())))
+    expected = min(Grid.distance(node, end) for end in grid.end_nodes())
+    assert grid.boundary_distance(node) == expected
+
+
+# ---------------------------------------------------------------------------
+# Symmetry group properties
+# ---------------------------------------------------------------------------
+@given(st.sampled_from(ALL_SYMMETRIES), st.sampled_from(ALL_SYMMETRIES), offsets)
+def test_composition_is_the_group_action(first, second, offset):
+    assert first.compose(second).apply(offset) == first.apply(second.apply(offset))
+
+
+@given(st.sampled_from(ALL_SYMMETRIES), st.integers(1, 2))
+def test_symmetries_permute_the_visibility_ball(symmetry, phi):
+    ball = set(ball_offsets(phi))
+    assert {symmetry.apply(offset) for offset in ball} == ball
+
+
+@given(st.sampled_from(ALL_SYMMETRIES))
+def test_symmetry_is_invertible(symmetry):
+    images = {symmetry.apply(offset) for offset in ball_offsets(2)}
+    assert len(images) == len(ball_offsets(2))
+
+
+# ---------------------------------------------------------------------------
+# Configurations and snapshots
+# ---------------------------------------------------------------------------
+@given(populated_grids())
+def test_configuration_preserves_robot_count(populated):
+    _grid, robots = populated
+    assert Configuration.from_robots(robots).robot_count == len(robots)
+
+
+@given(populated_grids())
+def test_configuration_is_permutation_invariant(populated):
+    _grid, robots = populated
+    assert Configuration.from_robots(robots) == Configuration.from_robots(list(reversed(robots)))
+
+
+@given(populated_grids(), st.integers(1, 2), st.data())
+def test_snapshot_center_contains_observer(populated, phi, data):
+    grid, robots = populated
+    observer = data.draw(st.sampled_from(robots))
+    snapshot = snapshot_contents(grid, robots, observer.pos, phi)
+    assert observer.color in snapshot[(0, 0)]
+    assert set(snapshot) == set(ball_offsets(phi))
+
+
+@given(populated_grids(), st.data())
+def test_snapshot_cells_reflect_grid_membership(populated, data):
+    grid, robots = populated
+    observer = data.draw(st.sampled_from(robots))
+    snapshot = snapshot_contents(grid, robots, observer.pos, 2)
+    for offset, content in snapshot.items():
+        node = (observer.pos[0] + offset[0], observer.pos[1] + offset[1])
+        assert (content is None) == (not grid.contains(node))
+
+
+@given(st.lists(colors, max_size=5))
+def test_multiset_is_order_invariant(items):
+    assert multiset(*items) == multiset(*reversed(items))
+
+
+# ---------------------------------------------------------------------------
+# Simulator invariants on a real algorithm
+# ---------------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 6), st.integers(3, 7))
+def test_fsync_execution_invariants(m, n):
+    algorithm = get("fsync_phi2_l2_chir_k2")
+    result = run_fsync(algorithm, Grid(m, n))
+    # Robot count is conserved in every recorded configuration.
+    assert all(config.robot_count == algorithm.k for config in result.trace)
+    # The execution is a terminating exploration and visits exactly the grid.
+    assert result.is_terminating_exploration
+    assert result.visited <= set(Grid(m, n).nodes())
+    # Every event moves a robot to an adjacent node (or keeps it idle).
+    assert all(Grid.distance(e.old_pos, e.new_pos) <= 1 for e in result.events)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 5), st.integers(3, 6), st.integers(0, 1000))
+def test_ssync_random_schedules_preserve_robots(m, n, seed):
+    algorithm = get("async_phi2_l3_chir_k2")
+    result = run_ssync(algorithm, Grid(m, n), scheduler=RandomSubset(seed=seed))
+    assert result.final.robot_count == algorithm.k
+    assert result.is_terminating_exploration

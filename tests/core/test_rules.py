@@ -1,0 +1,181 @@
+"""Tests for the guard/rule DSL (paper Section 2.4 and Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ANY,
+    B,
+    EMPTY,
+    FREE,
+    G,
+    Grid,
+    GuardError,
+    IDENTITY,
+    Robot,
+    RuleError,
+    W,
+    WALL,
+    occ,
+    snapshot_contents,
+)
+from repro.core.rules import CellKind, CellSpec, Guard, Rule, guard_to_art, parse_guard_art
+from repro.core.views import ROT180
+
+
+class TestCellSpecs:
+    def test_empty_matches_only_empty(self):
+        assert EMPTY.matches(())
+        assert not EMPTY.matches(None)
+        assert not EMPTY.matches((G,))
+
+    def test_wall_matches_only_missing(self):
+        assert WALL.matches(None)
+        assert not WALL.matches(())
+
+    def test_free_matches_empty_or_missing(self):
+        assert FREE.matches(()) and FREE.matches(None)
+        assert not FREE.matches((W,))
+
+    def test_any_matches_everything(self):
+        assert ANY.matches(None) and ANY.matches(()) and ANY.matches((G, W))
+
+    def test_occ_is_exact_multiset(self):
+        spec = occ(W, G)
+        assert spec.matches((G, W))
+        assert not spec.matches((G,))
+        assert not spec.matches((G, G, W))
+        assert not spec.matches(None)
+
+    def test_occ_requires_colors(self):
+        with pytest.raises(GuardError):
+            CellSpec(CellKind.OCCUPIED)
+
+    def test_non_occ_rejects_colors(self):
+        with pytest.raises(GuardError):
+            CellSpec(CellKind.EMPTY, (G,))
+
+
+class TestGuardConstruction:
+    def test_named_cells(self):
+        guard = Guard.build(1, W=occ(G), E=EMPTY)
+        assert guard.spec_at((0, -1)) == occ(G)
+        assert guard.spec_at((0, 1)) == EMPTY
+        assert guard.spec_at((1, 0)) == FREE  # default
+
+    def test_unknown_cell_name(self):
+        with pytest.raises(GuardError):
+            Guard.build(1, Q=EMPTY)
+
+    def test_offset_outside_ball(self):
+        with pytest.raises(GuardError):
+            Guard.build(1, EE=EMPTY)
+
+    def test_duplicate_offsets_rejected(self):
+        with pytest.raises(GuardError):
+            Guard(phi=1, cells=(((0, 1), EMPTY), ((0, 1), WALL)))
+
+    def test_invalid_phi(self):
+        with pytest.raises(GuardError):
+            Guard.build(3, N=EMPTY)
+
+    def test_occupied_offsets(self):
+        guard = Guard.build(2, W=occ(G), EE=occ(W), S=EMPTY)
+        assert set(guard.occupied_offsets()) == {(0, -1), (0, 2)}
+
+
+class TestGuardMatching:
+    def _snapshot(self):
+        grid = Grid(3, 3)
+        robots = [Robot(0, (1, 1), W), Robot(1, (1, 0), G)]
+        return snapshot_contents(grid, robots, (1, 1), 1)
+
+    def test_identity_match(self):
+        guard = Guard.build(1, W=occ(G), E=EMPTY)
+        assert guard.matches(self._snapshot(), IDENTITY, center_default=occ(W))
+
+    def test_rotated_match(self):
+        # Under a 180-degree rotation the guard's "west" cell points east.
+        guard = Guard.build(1, E=occ(G), W=EMPTY)
+        assert guard.matches(self._snapshot(), ROT180, center_default=occ(W))
+        assert not guard.matches(self._snapshot(), IDENTITY, center_default=occ(W))
+
+    def test_default_gray_rejects_occupied(self):
+        guard = Guard.build(1, E=EMPTY)
+        # West neighbour hosts a robot, and the default is gray (empty or wall).
+        assert not guard.matches(self._snapshot(), IDENTITY, center_default=occ(W))
+
+
+class TestRule:
+    def test_action_and_movement_mapping(self):
+        rule = Rule("R1", W, Guard.build(1, W=occ(G), E=EMPTY), W, "E")
+        assert rule.world_move(IDENTITY) == (0, 1)
+        assert rule.world_move(ROT180) == (0, -1)
+        assert rule.action_label() == "W,->"
+
+    def test_idle_rule(self):
+        rule = Rule("R8", G, Guard.build(1, N=occ(W)), B, None)
+        assert rule.world_move(IDENTITY) is None
+        assert rule.action_label() == "B,Idle"
+
+    def test_invalid_movement(self):
+        with pytest.raises(RuleError):
+            Rule("R1", W, Guard.build(1), W, "NE")
+
+    def test_center_spec_defaults_to_alone(self):
+        rule = Rule("R1", W, Guard.build(1, W=occ(G)), W, "E")
+        assert rule.center_spec() == occ(W)
+
+    def test_center_spec_explicit_stack(self):
+        rule = Rule("R5", G, Guard.build(1, C=occ(G, W)), G, "S")
+        assert rule.center_spec() == occ(G, W)
+
+    def test_rule_matching_uses_center(self):
+        grid = Grid(2, 2)
+        robots = [Robot(0, (0, 0), G), Robot(1, (0, 0), W)]
+        snapshot = snapshot_contents(grid, robots, (0, 0), 1)
+        alone = Rule("Ra", G, Guard.build(1), G, None)
+        stacked = Rule("Rb", G, Guard.build(1, C=occ(G, W)), G, None)
+        assert not alone.matches(snapshot, IDENTITY)
+        assert stacked.matches(snapshot, IDENTITY)
+
+
+class TestGuardArt:
+    def test_parse_round_trip(self):
+        art = """
+        _ o _
+        G * o
+        _ . _
+        """
+        guard = parse_guard_art(1, art)
+        assert guard.spec_at((0, -1)) == occ(G)
+        assert guard.spec_at((-1, 0)) == EMPTY
+        assert guard.spec_at((1, 0)) == FREE
+        rendered = guard_to_art(guard)
+        assert parse_guard_art(1, rendered) == guard
+
+    def test_parse_phi2_with_walls_and_stacks(self):
+        art = """
+        _ _ . _ _
+        _ . o . _
+        . GW * # .
+        _ . . . _
+        _ _ . _ _
+        """
+        guard = parse_guard_art(2, art)
+        assert guard.spec_at((0, -1)) == occ(G, W)
+        assert guard.spec_at((0, 1)) == WALL
+        assert guard.spec_at((-1, 0)) == EMPTY
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GuardError):
+            parse_guard_art(1, "o o\no o")
+
+    def test_misplaced_underscore_rejected(self):
+        with pytest.raises(GuardError):
+            parse_guard_art(1, """
+            _ _ _
+            G * o
+            _ . _
+            """)

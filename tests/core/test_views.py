@@ -1,0 +1,130 @@
+"""Tests for views, visibility balls and the symmetry group (Section 2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ALL_SYMMETRIES,
+    B,
+    G,
+    Grid,
+    IDENTITY,
+    REFLECTIONS,
+    ROTATIONS,
+    Robot,
+    W,
+    ball_offsets,
+    snapshot_contents,
+    symmetries_for,
+    view_tuple,
+)
+
+
+class TestBallOffsets:
+    def test_phi1_has_five_cells(self):
+        assert len(ball_offsets(1)) == 5
+        assert (0, 0) in ball_offsets(1)
+
+    def test_phi2_has_thirteen_cells(self):
+        # The paper's phi = 2 view lists 13 multisets (V_{2,nu}).
+        assert len(ball_offsets(2)) == 13
+
+    def test_offsets_within_distance(self):
+        for phi in (1, 2, 3):
+            assert all(abs(di) + abs(dj) <= phi for di, dj in ball_offsets(phi))
+
+    def test_negative_phi_rejected(self):
+        with pytest.raises(ValueError):
+            ball_offsets(-1)
+
+
+class TestSymmetryGroup:
+    def test_counts(self):
+        assert len(ROTATIONS) == 4
+        assert len(REFLECTIONS) == 4
+        assert len(ALL_SYMMETRIES) == 8
+
+    def test_rotations_preserve_orientation(self):
+        assert all(symmetry.determinant == 1 for symmetry in ROTATIONS)
+        assert all(symmetry.determinant == -1 for symmetry in REFLECTIONS)
+
+    def test_symmetries_for_chirality(self):
+        assert symmetries_for(True) == ROTATIONS
+        assert symmetries_for(False) == ALL_SYMMETRIES
+
+    def test_group_closure(self):
+        matrices = {symmetry.matrix() for symmetry in ALL_SYMMETRIES}
+        for first in ALL_SYMMETRIES:
+            for second in ALL_SYMMETRIES:
+                assert first.compose(second).matrix() in matrices
+
+    def test_symmetries_are_distinct(self):
+        assert len({symmetry.matrix() for symmetry in ALL_SYMMETRIES}) == 8
+
+    def test_apply_preserves_distance(self):
+        for symmetry in ALL_SYMMETRIES:
+            for offset in ball_offsets(2):
+                image = symmetry.apply(offset)
+                assert abs(image[0]) + abs(image[1]) == abs(offset[0]) + abs(offset[1])
+
+    def test_identity_fixes_offsets(self):
+        for offset in ball_offsets(2):
+            assert IDENTITY.apply(offset) == offset
+
+
+class TestSnapshots:
+    def test_walls_and_empty_cells(self):
+        grid = Grid(2, 3)
+        snapshot = snapshot_contents(grid, [], (0, 0), 1)
+        assert snapshot[(-1, 0)] is None  # north of the top row: the paper's bottom
+        assert snapshot[(0, -1)] is None
+        assert snapshot[(0, 1)] == ()
+        assert snapshot[(0, 0)] == ()
+
+    def test_includes_observer_and_neighbors(self):
+        grid = Grid(3, 3)
+        robots = [Robot(0, (1, 1), G), Robot(1, (1, 2), W), Robot(2, (0, 1), B)]
+        snapshot = snapshot_contents(grid, robots, (1, 1), 1)
+        assert snapshot[(0, 0)] == (G,)
+        assert snapshot[(0, 1)] == (W,)
+        assert snapshot[(-1, 0)] == (B,)
+
+    def test_respects_visibility_radius(self):
+        grid = Grid(1, 5)
+        robots = [Robot(0, (0, 0), G), Robot(1, (0, 2), W)]
+        snapshot = snapshot_contents(grid, robots, (0, 0), 1)
+        assert (0, 2) not in snapshot
+
+    def test_stacked_robots_form_multiset(self):
+        grid = Grid(2, 2)
+        robots = [Robot(0, (0, 0), G), Robot(1, (0, 0), W)]
+        snapshot = snapshot_contents(grid, robots, (0, 1), 1)
+        assert snapshot[(0, -1)] == (G, W)
+
+
+class TestPaperViews:
+    def test_rotated_views_form_the_paper_family(self):
+        # Section 2.2: with a common chirality a robot obtains four views that
+        # are the rotations of one another; without it, eight.
+        grid = Grid(3, 3)
+        robots = [Robot(0, (1, 1), G), Robot(1, (0, 1), W), Robot(2, (1, 2), B)]
+        snapshot = snapshot_contents(grid, robots, (1, 1), 1)
+        rotated = {view_tuple(snapshot, G, symmetry, 1) for symmetry in ROTATIONS}
+        everything = {view_tuple(snapshot, G, symmetry, 1) for symmetry in ALL_SYMMETRIES}
+        assert len(rotated) == 4
+        assert len(everything) == 8
+        assert rotated < everything
+
+    def test_view_starts_with_observer_color_and_own_cell(self):
+        grid = Grid(3, 3)
+        robots = [Robot(0, (1, 1), G)]
+        snapshot = snapshot_contents(grid, robots, (1, 1), 1)
+        view = view_tuple(snapshot, G, IDENTITY, 1)
+        assert view[0] == G
+        assert view[3] == (G,)  # M_{i,j} contains the observer itself
+
+    def test_phi2_view_has_fourteen_entries(self):
+        grid = Grid(5, 5)
+        snapshot = snapshot_contents(grid, [Robot(0, (2, 2), G)], (2, 2), 2)
+        assert len(view_tuple(snapshot, G, IDENTITY, 2)) == 14

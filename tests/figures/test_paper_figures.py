@@ -1,0 +1,174 @@
+"""Reproduction of the paper's execution figures (Figs. 3-21).
+
+Each test runs the relevant algorithm, extracts the configurations the
+figure draws and checks that they occur, in order, in the recorded trace.
+Coordinates follow the paper (rows from North, columns from West); the
+turning figures are checked at the first border encounter (row ``r = 0``),
+which is the instance the paper draws.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import get
+from repro.core import Configuration, Grid, SequentialAsync, run_async, run_fsync
+from repro.viz.figures import find_subtrace
+
+
+def cfg(pairs):
+    return Configuration.from_pairs(pairs)
+
+
+def fsync_trace(name, m, n):
+    return run_fsync(get(name), Grid(m, n), tie_break="first").trace
+
+
+def async_trace(name, m, n):
+    return run_async(get(name), Grid(m, n), scheduler=SequentialAsync(), tie_break="first").trace
+
+
+class TestFigure3Route:
+    @pytest.mark.parametrize("name", ["fsync_phi2_l2_chir_k2", "async_phi2_l3_chir_k2"])
+    def test_first_visits_follow_the_snake(self, name):
+        from repro.analysis import follows_boustrophedon_route
+
+        result = run_fsync(get(name), Grid(5, 6), tie_break="first")
+        assert follows_boustrophedon_route(result)
+
+
+class TestAlgorithm1Figures:
+    """Figures 4 and 5 (turning west / turning east of Algorithm 1)."""
+
+    def test_figure4_turning_west(self):
+        n = 6
+        trace = fsync_trace("fsync_phi2_l2_chir_k2", 4, n)
+        frames = [
+            cfg([((0, n - 2), ("G",)), ((0, n - 1), ("W",))]),   # Fig. 4(a)
+            cfg([((1, n - 2), ("G",)), ((0, n - 1), ("W",))]),   # Fig. 4(b)
+            cfg([((1, n - 3), ("G",)), ((1, n - 1), ("W",))]),   # Fig. 4(c)
+        ]
+        assert find_subtrace(trace, frames) is not None
+
+    def test_figure5_turning_east(self):
+        n = 6
+        trace = fsync_trace("fsync_phi2_l2_chir_k2", 4, n)
+        frames = [
+            cfg([((1, 0), ("G",)), ((1, 2), ("W",))]),           # Fig. 5(a)
+            cfg([((2, 0), ("G",)), ((1, 1), ("W",))]),           # Fig. 5(b)
+            cfg([((2, 0), ("G",)), ((2, 1), ("W",))]),           # Fig. 5(c)
+        ]
+        assert find_subtrace(trace, frames) is not None
+
+
+class TestAlgorithm3Figures:
+    """Figures 7 and 8 (Algorithm 3, phi = 1, two robots)."""
+
+    def test_figure7_turning_west(self):
+        n = 5
+        trace = fsync_trace("fsync_phi1_l3_chir_k2", 4, n)
+        frames = [
+            cfg([((0, n - 2), ("G",)), ((0, n - 1), ("W",))]),   # Fig. 7(a)
+            cfg([((0, n - 1), ("G",)), ((1, n - 1), ("G",))]),   # Fig. 7(b)
+            cfg([((1, n - 2), ("B",)), ((1, n - 1), ("G",))]),   # Fig. 7(c)
+        ]
+        assert find_subtrace(trace, frames) is not None
+
+    def test_figure8_turning_east(self):
+        n = 5
+        trace = fsync_trace("fsync_phi1_l3_chir_k2", 4, n)
+        frames = [
+            cfg([((1, 0), ("B",)), ((1, 1), ("G",))]),           # Fig. 8(a)
+            cfg([((2, 0), ("B",)), ((1, 0), ("G",))]),           # Fig. 8(b)
+            cfg([((2, 0), ("G",)), ((2, 1), ("W",))]),           # Fig. 8(c)
+        ]
+        assert find_subtrace(trace, frames) is not None
+
+
+class TestAlgorithm5Figures:
+    """Figures 10 and 11 (Algorithm 5, three robots, two colors)."""
+
+    def test_figure10_turning_west(self):
+        n = 5
+        trace = fsync_trace("fsync_phi1_l2_chir_k3", 4, n)
+        frames = [
+            cfg([((0, n - 2), ("G",)), ((0, n - 1), ("G",)), ((1, n - 2), ("W",))]),  # (a)
+            cfg([((0, n - 1), ("G",)), ((1, n - 1), ("G", "W"))]),                      # (b)
+            cfg([((1, n - 2), ("W",)), ((1, n - 1), ("W",)), ((2, n - 1), ("G",))]),   # (c)
+        ]
+        assert find_subtrace(trace, frames) is not None
+
+    def test_figure11_turning_east(self):
+        n = 5
+        trace = fsync_trace("fsync_phi1_l2_chir_k3", 4, n)
+        frames = [
+            cfg([((1, 0), ("W",)), ((1, 1), ("W",)), ((2, 1), ("G",))]),  # (a)
+            cfg([((1, 0), ("W",)), ((2, 0), ("G", "W"))]),                 # (b)
+            cfg([((2, 0), ("G",)), ((2, 1), ("G",)), ((3, 0), ("W",))]),  # (c)
+        ]
+        assert find_subtrace(trace, frames) is not None
+
+
+class TestAlgorithm2Figure6:
+    """Figure 6 (Algorithm 2): border pivot of the chirality-free triple."""
+
+    def test_figure6_turning_west_outcome(self):
+        n = 6
+        trace = fsync_trace("fsync_phi2_l2_nochir_k3", 4, n)
+        frames = [
+            cfg([((0, n - 2), ("G",)), ((0, n - 1), ("G",)), ((1, n - 2), ("W",))]),  # (a)
+            cfg([((0, n - 1), ("G",)), ((1, n - 2), ("G",)), ((2, n - 2), ("W",))]),  # (b)
+            cfg([((1, n - 2), ("G",)), ((1, n - 1), ("G",)), ((2, n - 1), ("W",))]),  # (c)
+        ]
+        assert find_subtrace(trace, frames) is not None
+
+
+class TestAlgorithm6Figures:
+    """Figures 12 and 13 (Algorithm 6, ASYNC) including the recoloring intermediate."""
+
+    def test_figure12_turning_west_with_intermediate(self):
+        n = 5
+        trace = async_trace("async_phi2_l3_chir_k2", 4, n)
+        frames = [
+            cfg([((0, n - 2), ("G",)), ((0, n - 1), ("W",))]),   # (a)
+            cfg([((0, n - 2), ("G",)), ((1, n - 1), ("W",))]),   # (b)
+            cfg([((0, n - 2), ("B",)), ((1, n - 1), ("W",))]),   # (c) color changed, not moved
+            cfg([((1, n - 2), ("B",)), ((1, n - 1), ("W",))]),   # (d)
+        ]
+        assert find_subtrace(trace, frames) is not None
+
+    def test_figure13_turning_east_with_idle_recoloring(self):
+        n = 5
+        trace = async_trace("async_phi2_l3_chir_k2", 4, n)
+        frames = [
+            cfg([((1, 0), ("B",)), ((1, 1), ("W",))]),           # (a)
+            cfg([((2, 0), ("B",)), ((1, 1), ("W",))]),           # (b)
+            cfg([((2, 0), ("G",)), ((1, 1), ("W",))]),           # (c) idle recoloring
+            cfg([((2, 0), ("G",)), ((2, 1), ("W",))]),           # (d)
+        ]
+        assert find_subtrace(trace, frames) is not None
+
+
+class TestAlgorithm10Figures:
+    """Figures 19 and 20 (Algorithm 10): the stack-and-hop gait and its border pivot."""
+
+    def test_figure19_proceeding_east_stacks(self):
+        trace = async_trace("async_phi1_l3_chir_k3", 3, 5)
+        frames = [
+            cfg([((0, 0), ("G",)), ((0, 1), ("W",)), ((0, 2), ("W",))]),  # (a)
+            cfg([((0, 1), ("G", "W")), ((0, 2), ("W",))]),                  # (b)
+            cfg([((0, 1), ("G",)), ((0, 2), ("G", "W"))]),                  # (d)
+            cfg([((0, 1), ("G",)), ((0, 2), ("W",)), ((0, 3), ("W",))]),   # (f)
+        ]
+        assert find_subtrace(trace, frames) is not None
+
+    def test_figure20_turning_west_reaches_mirror_form(self):
+        n = 4
+        trace = async_trace("async_phi1_l3_chir_k3", 3, n)
+        frames = [
+            cfg([((0, n - 2), ("G",)), ((0, n - 1), ("G", "W"))]),          # (a)
+            cfg([((0, n - 2), ("G",)), ((0, n - 1), ("W",)), ((1, n - 1), ("B",))]),  # (c)
+            cfg([((0, n - 1), ("W",)), ((1, n - 1), ("B", "G"))]),          # (e)
+            cfg([((1, n - 2), ("B",)), ((1, n - 1), ("B", "W"))]),          # (h)
+        ]
+        assert find_subtrace(trace, frames) is not None
