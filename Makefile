@@ -1,0 +1,19 @@
+# Convenience targets for the repro library.
+#
+#   make verify  - tier-1 test suite plus a quick engine benchmark smoke
+#   make test    - tier-1 test suite only
+#   make bench   - full old-vs-new engine throughput benchmark
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: verify test bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+verify: test
+	$(PYTHON) benchmarks/bench_engine.py --smoke
+
+bench:
+	$(PYTHON) benchmarks/bench_engine.py

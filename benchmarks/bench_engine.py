@@ -1,0 +1,181 @@
+"""Benchmark: seed checker vs the unified engine kernel (state throughput).
+
+Compares three ways of exhaustively exploring the scheduler state space:
+
+* **seed** — a faithful copy of the pre-engine model checker (one ad-hoc
+  successor generator materialising a ``World`` per expansion, no
+  memoization), kept here as the reference baseline;
+* **engine (cold)** — the public :func:`repro.checking.explore_state_space`,
+  building a fresh transition system per check;
+* **engine (kernel reuse)** — one
+  :class:`repro.engine.AlgorithmTransitionSystem` shared across repeated
+  checks, the way the campaign engine and the refuter use it.
+
+Run directly (``python benchmarks/bench_engine.py``, with ``--smoke`` for a
+quick pass); it prints a table of state throughputs and fails loudly if the
+engine does not beat the seed checker by at least 2x on the 3x3 FSYNC
+check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from itertools import combinations, product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms import get
+from repro.checking import explore_state_space
+from repro.core import Grid
+from repro.core.algorithm import Algorithm
+from repro.engine import AlgorithmTransitionSystem, SchedulerState, explore, initial_state
+from repro.engine.states import AsyncRobotState, world_from_state
+
+
+# ---------------------------------------------------------------------------
+# The seed checker, reproduced verbatim (pre-engine implementation)
+# ---------------------------------------------------------------------------
+def _seed_enabled_choices(algorithm: Algorithm, grid: Grid, state: SchedulerState):
+    world = world_from_state(grid, state)
+    choices = []
+    for index, robot in enumerate(world.robots):
+        actions = algorithm.distinct_actions(algorithm.matches_for_robot(world, robot))
+        if actions:
+            choices.append((index, actions))
+    return choices
+
+
+def _seed_apply_synchronous(
+    state: SchedulerState, moves: Sequence[Tuple[int, Optional[str], Optional[Tuple[int, int]]]]
+) -> SchedulerState:
+    records = list(state.robots)
+    for index, new_color, world_move in moves:
+        record = records[index]
+        pos = record.pos
+        if world_move is not None:
+            pos = (pos[0] + world_move[0], pos[1] + world_move[1])
+        records[index] = AsyncRobotState(pos=pos, color=new_color if new_color else record.color)
+    return SchedulerState.from_records(records)
+
+
+def _seed_successors(algorithm: Algorithm, grid: Grid, state: SchedulerState, model: str):
+    choices = _seed_enabled_choices(algorithm, grid, state)
+    if not choices:
+        return []
+    successors = []
+    if model == "FSYNC":
+        for combo in product(*[actions for _, actions in choices]):
+            moves = [
+                (index, action.new_color, action.world_move)
+                for (index, _), action in zip(choices, combo)
+            ]
+            successors.append(_seed_apply_synchronous(state, moves))
+        return successors
+    # SSYNC
+    indices = [index for index, _ in choices]
+    by_index = dict(choices)
+    for size in range(1, len(indices) + 1):
+        for subset in combinations(indices, size):
+            for combo in product(*[by_index[index] for index in subset]):
+                moves = [
+                    (index, action.new_color, action.world_move)
+                    for index, action in zip(subset, combo)
+                ]
+                successors.append(_seed_apply_synchronous(state, moves))
+    return successors
+
+
+def seed_explore(algorithm: Algorithm, grid: Grid, model: str) -> Dict[SchedulerState, List[SchedulerState]]:
+    """The pre-engine state-space exploration (DFS stack, no memoization)."""
+    root = initial_state(algorithm, grid)
+    graph: Dict[SchedulerState, List[SchedulerState]] = {}
+    stack = [root]
+    while stack:
+        state = stack.pop()
+        if state in graph:
+            continue
+        succ = _seed_successors(algorithm, grid, state, model)
+        graph[state] = succ
+        for nxt in succ:
+            if nxt not in graph:
+                stack.append(nxt)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Measurement harness
+# ---------------------------------------------------------------------------
+def _throughput(run, repetitions: int) -> Tuple[float, int]:
+    """(states per second, states per run) over ``repetitions`` full checks."""
+    states = run()  # warm-up, also yields the per-run state count
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        run()
+    elapsed = time.perf_counter() - start
+    return (states * repetitions) / elapsed, states
+
+
+def bench_case(name: str, model: str, repetitions: int) -> dict:
+    algorithm = get(name)
+    grid = Grid(3, 3)
+
+    def run_seed():
+        return len(seed_explore(algorithm, grid, model))
+
+    def run_engine_cold():
+        return len(explore_state_space(algorithm, grid, model=model))
+
+    kernel = AlgorithmTransitionSystem(algorithm, grid, model)
+
+    def run_engine_kernel():
+        return explore(kernel).num_states
+
+    seed_rate, states = _throughput(run_seed, repetitions)
+    cold_rate, _ = _throughput(run_engine_cold, repetitions)
+    kernel_rate, _ = _throughput(run_engine_kernel, repetitions)
+    return {
+        "case": f"{name} 3x3 [{model}]",
+        "states": states,
+        "seed": seed_rate,
+        "cold": cold_rate,
+        "kernel": kernel_rate,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="quick pass (fewer repetitions)")
+    parser.add_argument("--repetitions", type=int, default=None, help="explicit repetition count")
+    args = parser.parse_args(argv)
+    repetitions = args.repetitions if args.repetitions is not None else (20 if args.smoke else 150)
+
+    rows = [
+        bench_case("fsync_phi2_l2_chir_k2", "FSYNC", repetitions),
+        bench_case("fsync_phi2_l2_chir_k2", "SSYNC", repetitions),
+        bench_case("fsync_phi1_l2_chir_k3", "SSYNC", repetitions),
+    ]
+
+    header = f"{'case':38s} {'states':>6s} {'seed st/s':>10s} {'cold st/s':>10s} {'kernel st/s':>11s} {'cold x':>7s} {'kernel x':>8s}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cold_x = row["cold"] / row["seed"]
+        kernel_x = row["kernel"] / row["seed"]
+        print(
+            f"{row['case']:38s} {row['states']:6d} {row['seed']:10.0f} {row['cold']:10.0f}"
+            f" {row['kernel']:11.0f} {cold_x:6.2f}x {kernel_x:7.2f}x"
+        )
+
+    fsync = rows[0]
+    speedup = max(fsync["cold"], fsync["kernel"]) / fsync["seed"]
+    print(f"\n3x3 FSYNC check: engine is {speedup:.2f}x the seed checker's state throughput")
+    if speedup < 2.0:
+        print("FAIL: expected at least a 2x state-throughput improvement", file=sys.stderr)
+        return 1
+    print("OK: >= 2x state-throughput improvement")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,10 @@ The library provides
 * the Look-Compute-Move grid simulation substrate (``repro.core``) for the
   FSYNC, SSYNC and ASYNC synchrony models, with myopic luminous robots and
   the rotation/reflection view semantics of the paper;
+* the unified transition-system kernel (``repro.engine``): one
+  authoritative implementation of the successor semantics consumed by the
+  simulator, the model checker (with grid-symmetry reduction) and the
+  parallel campaign engine — see ``docs/architecture.md``;
 * executable encodings of the paper's fourteen terminating-exploration
   algorithms (``repro.algorithms``);
 * verification utilities (``repro.verification``) and an exhaustive model
@@ -31,9 +35,9 @@ True
 
 from __future__ import annotations
 
-from . import core
+from . import core, engine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 #: The paper reproduced by this library.
 PAPER_REFERENCE = (
@@ -42,4 +46,4 @@ PAPER_REFERENCE = (
     "IPPS 2021. arXiv:2102.06006."
 )
 
-__all__ = ["core", "PAPER_REFERENCE", "__version__"]
+__all__ = ["core", "engine", "PAPER_REFERENCE", "__version__"]

@@ -13,7 +13,8 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..core.algorithm import Algorithm
 from ..core.grid import Grid
-from ..core.simulator import TieBreak, run_fsync
+from ..engine.suites import scaling_suite
+from ..engine.walk import TieBreak, run_fsync
 
 __all__ = ["ScalingPoint", "round_complexity_sweep", "fit_linear_in_nodes"]
 
@@ -33,13 +34,12 @@ def round_complexity_sweep(
     algorithm: Algorithm,
     sizes: Optional[Iterable[Tuple[int, int]]] = None,
 ) -> List[ScalingPoint]:
-    """Measure FSYNC rounds and moves over a family of grid sizes."""
+    """Measure FSYNC rounds and moves over a family of grid sizes.
+
+    The default size family is the shared :func:`repro.engine.suites.scaling_suite`.
+    """
     if sizes is None:
-        base = max(algorithm.min_n, 4)
-        sizes = [(side, side + 1) for side in range(max(algorithm.min_m, 3), 12)] + [
-            (3, base * 4),
-            (base * 4, 3 if algorithm.min_n <= 3 else algorithm.min_n),
-        ]
+        sizes = scaling_suite(algorithm)
     points = []
     for m, n in sizes:
         if not algorithm.supports_grid(m, n):

@@ -6,7 +6,7 @@ small grid the reachable state space of that game is finite, so it can be
 enumerated exactly:
 
 * :func:`explore_state_space` builds the successor graph of canonical
-  states (:mod:`repro.checking.states`) under FSYNC, SSYNC or ASYNC
+  states (:mod:`repro.engine.states`) under FSYNC, SSYNC or ASYNC
   semantics, branching over every scheduler choice;
 * :func:`check_terminating_exploration` then decides the two halves of
   Definition 1 over *all* executions:
@@ -19,27 +19,32 @@ enumerated exactly:
     intersection over its successors, plus the nodes occupied in the
     state itself).
 
+Successor generation is delegated to the unified transition-system kernel
+(:class:`repro.engine.transition.AlgorithmTransitionSystem`) — the same
+semantics the simulator walks — and the frontier search, state interning
+and graph analyses live in :mod:`repro.engine.explorer`.
+
+``symmetry_reduction=True`` additionally quotients the search by the grid
+automorphisms the algorithm cannot distinguish (rotations, plus reflections
+for chirality-free algorithms; see :mod:`repro.engine.symmetry`): symmetric
+states are explored once, which shrinks the state space while preserving
+both the termination and the coverage verdicts exactly.
+
 This is a strictly stronger check than any number of randomized
 simulations, and it is the tool used to validate the paper's ASYNC
 algorithms (Table 1, SSYNC/ASYNC rows) on small grids.
-
-For SSYNC, activating a robot that is not enabled has no effect, so the
-checker only branches over non-empty subsets of *enabled* robots; for
-ASYNC, a Look by a robot that is not enabled leads to a no-op Compute, so
-such Looks are pruned as well.  Neither pruning removes any reachable
-configuration.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from itertools import combinations, product
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..core.algorithm import Algorithm
-from ..core.errors import StateSpaceLimitExceeded
-from ..core.grid import Grid, Node
-from .states import AsyncRobotState, SchedulerState, freeze_snapshot, initial_state, thaw_snapshot, world_from_state
+from ..core.grid import Grid
+from ..engine.explorer import explore, guaranteed_nodes, has_cycle
+from ..engine.states import SchedulerState
+from ..engine.transition import AlgorithmTransitionSystem
 
 __all__ = ["CheckResult", "explore_state_space", "check_terminating_exploration", "enumerate_reachable"]
 
@@ -57,6 +62,8 @@ class CheckResult:
     terminates: bool
     explores: bool
     counterexample: Optional[str] = None
+    #: Whether the counts above refer to the symmetry-reduced quotient.
+    symmetry_reduction: bool = False
 
     @property
     def ok(self) -> bool:
@@ -65,221 +72,57 @@ class CheckResult:
 
     def summary(self) -> str:
         status = "terminating exploration holds" if self.ok else f"FAILS ({self.counterexample})"
+        reduced = ", symmetry-reduced" if self.symmetry_reduction else ""
         return (
             f"{self.algorithm} on {self.m}x{self.n} [{self.model}]: {status}"
-            f" ({self.states_explored} states, {self.terminal_states} terminal)"
+            f" ({self.states_explored} states, {self.terminal_states} terminal{reduced})"
         )
 
 
-# ---------------------------------------------------------------------------
-# Successor generation
-# ---------------------------------------------------------------------------
-def _enabled_choices(algorithm: Algorithm, grid: Grid, state: SchedulerState):
-    """Per-robot distinct actions in a configuration-only state."""
-    world = world_from_state(grid, state)
-    choices = []
-    for index, robot in enumerate(world.robots):
-        actions = algorithm.distinct_actions(algorithm.matches_for_robot(world, robot))
-        if actions:
-            choices.append((index, actions))
-    return choices
-
-
-def _apply_synchronous(
-    state: SchedulerState, moves: Sequence[Tuple[int, Optional[str], Optional[Tuple[int, int]]]]
-) -> SchedulerState:
-    """Apply simultaneous (index, new_color, world_move) updates to a state."""
-    records = list(state.robots)
-    for index, new_color, world_move in moves:
-        record = records[index]
-        pos = record.pos
-        if world_move is not None:
-            pos = (pos[0] + world_move[0], pos[1] + world_move[1])
-        records[index] = AsyncRobotState(pos=pos, color=new_color if new_color else record.color)
-    return SchedulerState.from_records(records)
-
-
-def _successors_fsync(algorithm: Algorithm, grid: Grid, state: SchedulerState) -> List[SchedulerState]:
-    choices = _enabled_choices(algorithm, grid, state)
-    if not choices:
-        return []
-    successors = []
-    # Branch over every combination of per-robot action choices (ties are
-    # resolved by the scheduler, hence adversarially).
-    for combo in product(*[actions for _, actions in choices]):
-        moves = [
-            (index, action.new_color, action.world_move)
-            for (index, _), action in zip(choices, combo)
-        ]
-        successors.append(_apply_synchronous(state, moves))
-    return successors
-
-
-def _successors_ssync(algorithm: Algorithm, grid: Grid, state: SchedulerState) -> List[SchedulerState]:
-    choices = _enabled_choices(algorithm, grid, state)
-    if not choices:
-        return []
-    successors = []
-    indices = [index for index, _ in choices]
-    by_index = dict(choices)
-    for size in range(1, len(indices) + 1):
-        for subset in combinations(indices, size):
-            for combo in product(*[by_index[index] for index in subset]):
-                moves = [
-                    (index, action.new_color, action.world_move)
-                    for index, action in zip(subset, combo)
-                ]
-                successors.append(_apply_synchronous(state, moves))
-    return successors
-
-
-def _successors_async(algorithm: Algorithm, grid: Grid, state: SchedulerState) -> List[SchedulerState]:
-    world = world_from_state(grid, state)
-    successors: List[SchedulerState] = []
-    for index, record in enumerate(state.robots):
-        if record.phase == "idle":
-            # Offer a Look only to enabled robots: a disabled robot's cycle is
-            # a no-op and pruning it does not change reachable configurations.
-            robot = world.robot(index)
-            snapshot = world.snapshot(robot.pos, algorithm.phi)
-            if not algorithm.matches_for_snapshot(snapshot, record.color):
-                continue
-            records = list(state.robots)
-            records[index] = AsyncRobotState(
-                pos=record.pos,
-                color=record.color,
-                phase="looked",
-                snapshot=freeze_snapshot(snapshot),
-            )
-            successors.append(SchedulerState.from_records(records))
-        elif record.phase == "looked":
-            snapshot = thaw_snapshot(record.snapshot)
-            matches = algorithm.matches_for_snapshot(snapshot, record.color)
-            actions = algorithm.distinct_actions(matches)
-            if not actions:
-                records = list(state.robots)
-                records[index] = AsyncRobotState(pos=record.pos, color=record.color)
-                successors.append(SchedulerState.from_records(records))
-                continue
-            for action in actions:
-                records = list(state.robots)
-                records[index] = AsyncRobotState(
-                    pos=record.pos,
-                    color=action.new_color,
-                    phase="computed",
-                    pending_color=action.new_color,
-                    pending_move=action.world_move,
-                )
-                successors.append(SchedulerState.from_records(records))
-        elif record.phase == "computed":
-            pos = record.pos
-            if record.pending_move is not None:
-                pos = (pos[0] + record.pending_move[0], pos[1] + record.pending_move[1])
-            records = list(state.robots)
-            records[index] = AsyncRobotState(pos=pos, color=record.color)
-            successors.append(SchedulerState.from_records(records))
-    return successors
-
-
-_SUCCESSOR_FUNCTIONS = {
-    "FSYNC": _successors_fsync,
-    "SSYNC": _successors_ssync,
-    "ASYNC": _successors_async,
-}
-
-
 def successors(algorithm: Algorithm, grid: Grid, state: SchedulerState, model: str) -> List[SchedulerState]:
-    """All scheduler-reachable successor states of ``state`` under ``model``."""
-    return _SUCCESSOR_FUNCTIONS[model](algorithm, grid, state)
+    """All scheduler-reachable successor states of ``state`` under ``model``.
+
+    Convenience wrapper constructing a fresh transition system; callers that
+    expand many states should build one
+    :class:`~repro.engine.transition.AlgorithmTransitionSystem` and reuse it
+    so the snapshot/match memoization pays off.
+    """
+    return AlgorithmTransitionSystem(algorithm, grid, model).successors(state)
 
 
-# ---------------------------------------------------------------------------
-# Reachability and the terminating-exploration check
-# ---------------------------------------------------------------------------
 def explore_state_space(
     algorithm: Algorithm,
     grid: Grid,
     model: str = "SSYNC",
     max_states: int = 200_000,
     start: Optional[SchedulerState] = None,
+    symmetry_reduction: bool = False,
 ) -> Dict[SchedulerState, List[SchedulerState]]:
-    """Build the successor graph of all reachable scheduler states."""
-    if model not in _SUCCESSOR_FUNCTIONS:
+    """Build the successor graph of all reachable scheduler states.
+
+    With ``symmetry_reduction=True`` the returned graph is the quotient by
+    grid symmetry: states are orbit representatives, and a representative's
+    successor list contains the representatives of its raw successors.
+    """
+    if model not in ("FSYNC", "SSYNC", "ASYNC"):
         raise ValueError(f"unknown model {model!r}")
-    root = start if start is not None else initial_state(algorithm, grid)
-    graph: Dict[SchedulerState, List[SchedulerState]] = {}
-    stack = [root]
-    while stack:
-        state = stack.pop()
-        if state in graph:
-            continue
-        if len(graph) >= max_states:
-            raise StateSpaceLimitExceeded(
-                f"{algorithm.name} on {grid.m}x{grid.n} [{model}]: more than {max_states} states"
-            )
-        succ = successors(algorithm, grid, state, model)
-        graph[state] = succ
-        for nxt in succ:
-            if nxt not in graph:
-                stack.append(nxt)
-    return graph
+    ts = AlgorithmTransitionSystem(algorithm, grid, model)
+    exploration = explore(
+        ts, symmetry_reduction=symmetry_reduction, max_states=max_states, start=start
+    )
+    return exploration.graph()
 
 
 def enumerate_reachable(
-    algorithm: Algorithm, grid: Grid, model: str = "SSYNC", max_states: int = 200_000
+    algorithm: Algorithm,
+    grid: Grid,
+    model: str = "SSYNC",
+    max_states: int = 200_000,
+    symmetry_reduction: bool = False,
 ) -> int:
     """Number of reachable canonical states (convenience wrapper)."""
-    return len(explore_state_space(algorithm, grid, model=model, max_states=max_states))
-
-
-def _has_cycle(graph: Dict[SchedulerState, List[SchedulerState]]) -> bool:
-    """Iterative three-color DFS cycle detection."""
-    WHITE, GRAY, BLACK = 0, 1, 2
-    color = {state: WHITE for state in graph}
-    for root in graph:
-        if color[root] != WHITE:
-            continue
-        stack: List[Tuple[SchedulerState, int]] = [(root, 0)]
-        color[root] = GRAY
-        while stack:
-            state, child_index = stack[-1]
-            children = graph[state]
-            if child_index < len(children):
-                stack[-1] = (state, child_index + 1)
-                child = children[child_index]
-                if color[child] == GRAY:
-                    return True
-                if color[child] == WHITE:
-                    color[child] = GRAY
-                    stack.append((child, 0))
-            else:
-                color[state] = BLACK
-                stack.pop()
-    return False
-
-
-def _topological_order(graph: Dict[SchedulerState, List[SchedulerState]]) -> List[SchedulerState]:
-    """Reverse-postorder DFS (valid topological order for a DAG)."""
-    visited: Set[SchedulerState] = set()
-    order: List[SchedulerState] = []
-    for root in graph:
-        if root in visited:
-            continue
-        stack: List[Tuple[SchedulerState, int]] = [(root, 0)]
-        visited.add(root)
-        while stack:
-            state, child_index = stack[-1]
-            children = graph[state]
-            if child_index < len(children):
-                stack[-1] = (state, child_index + 1)
-                child = children[child_index]
-                if child not in visited:
-                    visited.add(child)
-                    stack.append((child, 0))
-            else:
-                order.append(state)
-                stack.pop()
-    return order  # reverse postorder: children appear before parents
+    ts = AlgorithmTransitionSystem(algorithm, grid, model)
+    return explore(ts, symmetry_reduction=symmetry_reduction, max_states=max_states).num_states
 
 
 def check_terminating_exploration(
@@ -287,51 +130,55 @@ def check_terminating_exploration(
     grid: Grid,
     model: str = "SSYNC",
     max_states: int = 200_000,
+    symmetry_reduction: bool = False,
 ) -> CheckResult:
-    """Exhaustively decide Definition 1 over all scheduler behaviours."""
-    graph = explore_state_space(algorithm, grid, model=model, max_states=max_states)
-    root = initial_state(algorithm, grid)
-    terminal_states = [state for state, succ in graph.items() if not succ]
+    """Exhaustively decide Definition 1 over all scheduler behaviours.
 
-    if _has_cycle(graph):
+    The verdict is identical with and without ``symmetry_reduction``; the
+    reduced run only explores fewer states (a quotient cycle lifts to an
+    infinite raw execution and vice versa, and coverage sets are mapped
+    exactly through the collapsing symmetries).
+    """
+    ts = AlgorithmTransitionSystem(algorithm, grid, model)
+    exploration = explore(ts, symmetry_reduction=symmetry_reduction, max_states=max_states)
+    terminal_states = len(exploration.terminal_indices())
+
+    if has_cycle(exploration.succ):
         return CheckResult(
             algorithm=algorithm.name,
             model=model,
             m=grid.m,
             n=grid.n,
-            states_explored=len(graph),
-            terminal_states=len(terminal_states),
+            states_explored=exploration.num_states,
+            terminal_states=terminal_states,
             terminates=False,
             explores=False,
             counterexample="a scheduler can drive the system into an infinite execution (cycle reached)",
+            symmetry_reduction=exploration.reduced,
         )
 
-    all_nodes: FrozenSet[Node] = frozenset(grid.nodes())
-    guaranteed: Dict[SchedulerState, FrozenSet[Node]] = {}
-    for state in _topological_order(graph):  # children before parents
-        occupied = frozenset(state.occupied_nodes())
-        succ = graph[state]
-        if not succ:
-            guaranteed[state] = occupied
-        else:
-            common = guaranteed[succ[0]]
-            for nxt in succ[1:]:
-                common = common & guaranteed[nxt]
-            guaranteed[state] = occupied | common
+    all_nodes = frozenset(grid.nodes())
+    guaranteed = guaranteed_nodes(exploration)
+    guaranteed_root = guaranteed[exploration.root]
+    if exploration.root_sym is not None:
+        # Map the canonical root's guarantee back into the raw initial
+        # state's coordinates so counterexamples name the actual nodes.
+        guaranteed_root = frozenset(exploration.root_sym.node(node) for node in guaranteed_root)
 
-    explores = guaranteed[root] == all_nodes
+    explores = guaranteed_root == all_nodes
     counterexample = None
     if not explores:
-        missing = sorted(all_nodes - guaranteed[root])
+        missing = sorted(all_nodes - guaranteed_root)
         counterexample = f"a scheduler can keep nodes {missing} unvisited on some execution"
     return CheckResult(
         algorithm=algorithm.name,
         model=model,
         m=grid.m,
         n=grid.n,
-        states_explored=len(graph),
-        terminal_states=len(terminal_states),
+        states_explored=exploration.num_states,
+        terminal_states=terminal_states,
         terminates=True,
         explores=explores,
         counterexample=counterexample,
+        symmetry_reduction=exploration.reduced,
     )

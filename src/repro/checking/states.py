@@ -1,104 +1,28 @@
 """Canonical scheduler states for the exhaustive model checker.
 
-The model checker explores *every* behaviour the scheduler can produce,
-which requires a finite, hashable state:
-
-* under FSYNC/SSYNC a state is simply the anonymous multiset of
-  ``(position, color)`` pairs (the paper's configuration);
-* under ASYNC a robot may be between its Look and Move phases, so the
-  state additionally records each robot's phase, the snapshot it took (if
-  any) and the action it committed to (if any).
-
-Robots are anonymous, so states are canonicalised by sorting the per-robot
-records; two states that differ only by a permutation of the robots are
-identified, which keeps the reachable state space small.
+The definitions moved into the engine kernel (:mod:`repro.engine.states`)
+so the simulator, the checker and the campaign runner can share them; this
+module remains the stable public import path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from ..engine.states import (
+    AsyncRobotState,
+    FrozenSnapshot,
+    SchedulerState,
+    freeze_snapshot,
+    initial_state,
+    thaw_snapshot,
+    world_from_state,
+)
 
-from ..core.algorithm import Action, Algorithm
-from ..core.grid import Grid, Node
-from ..core.robot import Robot
-from ..core.world import World
-
-__all__ = ["AsyncRobotState", "SchedulerState", "initial_state", "world_from_state"]
-
-#: Frozen snapshot: sorted tuple of (offset, content) pairs; content is None
-#: (wall) or a sorted color tuple.
-FrozenSnapshot = Tuple[Tuple[Tuple[int, int], Optional[Tuple[str, ...]]], ...]
-
-
-@dataclass(frozen=True)
-class AsyncRobotState:
-    """One robot's record inside a canonical scheduler state."""
-
-    pos: Node
-    color: str
-    phase: str = "idle"  # "idle" | "looked" | "computed"
-    snapshot: Optional[FrozenSnapshot] = None
-    pending_color: Optional[str] = None
-    pending_move: Optional[Tuple[int, int]] = None
-
-    def key(self):
-        return (
-            self.pos,
-            self.color,
-            self.phase,
-            self.snapshot if self.snapshot is not None else (),
-            self.pending_color or "",
-            self.pending_move if self.pending_move is not None else (9, 9),
-        )
-
-
-@dataclass(frozen=True)
-class SchedulerState:
-    """A canonical state of the whole system under a given synchrony model."""
-
-    robots: Tuple[AsyncRobotState, ...]
-
-    @classmethod
-    def from_records(cls, records) -> "SchedulerState":
-        return cls(robots=tuple(sorted(records, key=AsyncRobotState.key)))
-
-    def occupied_nodes(self) -> Tuple[Node, ...]:
-        return tuple(sorted({robot.pos for robot in self.robots}))
-
-    def positions_and_colors(self) -> Tuple[Tuple[Node, str], ...]:
-        return tuple(sorted((robot.pos, robot.color) for robot in self.robots))
-
-    def all_idle(self) -> bool:
-        return all(robot.phase == "idle" for robot in self.robots)
-
-
-def initial_state(algorithm: Algorithm, grid: Grid) -> SchedulerState:
-    """The canonical initial state for an algorithm on a grid."""
-    placement = algorithm.placement(grid.m, grid.n)
-    return SchedulerState.from_records(
-        AsyncRobotState(pos=node, color=color) for node, color in placement
-    )
-
-
-def world_from_state(grid: Grid, state: SchedulerState) -> World:
-    """Materialise a :class:`~repro.core.world.World` from a canonical state.
-
-    Robot identifiers are assigned positionally; they are only used to keep
-    track of which record an action applies to within one expansion step.
-    """
-    robots = [
-        Robot(rid=index, pos=record.pos, color=record.color)
-        for index, record in enumerate(state.robots)
-    ]
-    return World(grid=grid, robots=robots)
-
-
-def freeze_snapshot(snapshot) -> FrozenSnapshot:
-    """Canonicalise a snapshot dictionary into a hashable tuple."""
-    return tuple(sorted(snapshot.items()))
-
-
-def thaw_snapshot(frozen: FrozenSnapshot):
-    """Inverse of :func:`freeze_snapshot`."""
-    return dict(frozen)
+__all__ = [
+    "AsyncRobotState",
+    "SchedulerState",
+    "FrozenSnapshot",
+    "initial_state",
+    "world_from_state",
+    "freeze_snapshot",
+    "thaw_snapshot",
+]

@@ -84,4 +84,28 @@ class ModelCheckingError(ReproError):
 
 
 class StateSpaceLimitExceeded(ModelCheckingError):
-    """The exhaustive state-space exploration hit its state budget."""
+    """The exhaustive state-space exploration hit its state budget.
+
+    Carries the exploration context so callers can report or react to the
+    blow-up precisely: ``algorithm`` and ``model`` identify the check,
+    ``max_states`` the budget, ``states_explored`` how many states had been
+    expanded and ``frontier_size`` how many were still waiting when the
+    budget tripped.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        algorithm: "str | None" = None,
+        model: "str | None" = None,
+        max_states: "int | None" = None,
+        states_explored: "int | None" = None,
+        frontier_size: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.algorithm = algorithm
+        self.model = model
+        self.max_states = max_states
+        self.states_explored = states_explored
+        self.frontier_size = frontier_size

@@ -62,6 +62,12 @@ class ExecutionResult:
     steps: int
     terminated: bool
     termination_reason: str
+    #: The seed that drove every random choice of the run (tie-breaking and
+    #: the default schedulers); re-running with the same seed replays the
+    #: execution exactly.  ``None`` for results built by external tooling.
+    seed: Optional[int] = None
+    #: The tie-break policy the run was executed under.
+    tie_break: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Terminating-exploration predicate (Definition 1)

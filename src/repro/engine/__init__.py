@@ -1,0 +1,95 @@
+"""The unified transition-system kernel.
+
+``repro.engine`` is the one place the Look-Compute-Move semantics of the
+paper are implemented; every other layer consumes it:
+
+* :mod:`repro.engine.states` — canonical, hashable scheduler states;
+* :mod:`repro.engine.matcher` — memoized snapshot/rule-match computation;
+* :mod:`repro.engine.transition` — the :class:`TransitionSystem` protocol
+  and the authoritative FSYNC/SSYNC/ASYNC successor generator;
+* :mod:`repro.engine.symmetry` — grid-symmetry reduction (rotations and,
+  for chirality-free algorithms, reflections);
+* :mod:`repro.engine.explorer` — frontier search, interning, cycle and
+  coverage analyses (the model checker's substrate);
+* :mod:`repro.engine.walk` — the lazy single-path simulator;
+* :mod:`repro.engine.suites` — shared grid-size suites;
+* :mod:`repro.engine.campaign` — batched serial/parallel campaign runner.
+
+See ``docs/architecture.md`` for the full layering diagram.
+"""
+
+from .campaign import (
+    CampaignTask,
+    GridSweepReport,
+    ParallelCampaignEngine,
+    VerificationReport,
+    derive_seed,
+    execute_tasks,
+    grid_sweep_tasks,
+    run_task,
+    stress_test_tasks,
+    verify_one,
+)
+from .explorer import Exploration, explore, guaranteed_nodes, has_cycle, topological_order
+from .matcher import LocalMatcher
+from .states import (
+    AsyncRobotState,
+    FrozenSnapshot,
+    SchedulerState,
+    freeze_snapshot,
+    initial_state,
+    thaw_snapshot,
+    world_from_state,
+)
+from .suites import default_grid_suite, scaling_suite
+from .symmetry import GridSymmetry, canonicalize, grid_symmetries, transform_state
+from .transition import MODELS, AlgorithmTransitionSystem, TransitionSystem
+from .walk import TieBreak, default_step_budget, run, run_async, run_fsync, run_ssync
+
+__all__ = [
+    # states
+    "AsyncRobotState",
+    "SchedulerState",
+    "FrozenSnapshot",
+    "initial_state",
+    "world_from_state",
+    "freeze_snapshot",
+    "thaw_snapshot",
+    # matcher / transition
+    "LocalMatcher",
+    "MODELS",
+    "TransitionSystem",
+    "AlgorithmTransitionSystem",
+    # symmetry
+    "GridSymmetry",
+    "grid_symmetries",
+    "transform_state",
+    "canonicalize",
+    # explorer
+    "Exploration",
+    "explore",
+    "has_cycle",
+    "topological_order",
+    "guaranteed_nodes",
+    # walk
+    "TieBreak",
+    "default_step_budget",
+    "run",
+    "run_fsync",
+    "run_ssync",
+    "run_async",
+    # suites
+    "default_grid_suite",
+    "scaling_suite",
+    # campaign
+    "VerificationReport",
+    "GridSweepReport",
+    "CampaignTask",
+    "verify_one",
+    "run_task",
+    "execute_tasks",
+    "grid_sweep_tasks",
+    "stress_test_tasks",
+    "derive_seed",
+    "ParallelCampaignEngine",
+]

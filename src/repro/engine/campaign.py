@@ -1,0 +1,346 @@
+"""Campaign execution: verification work items, serial and parallel engines.
+
+A verification campaign is a flat list of independent work items
+(:class:`CampaignTask`), each of which runs one bounded execution through
+the walk engine (:mod:`repro.engine.walk`) and scores it against
+Definition 1.  Because the items are independent and fully described by
+picklable primitives, the same list can be executed
+
+* serially (:func:`execute_tasks` with an ``Algorithm`` in hand), or
+* fanned across a ``multiprocessing`` pool (:class:`ParallelCampaignEngine`),
+  with results returned in task order — so the two paths produce
+  **identical** reports for identical task lists.
+
+Determinism: every randomized run is driven by the explicit seed carried in
+its task (never by shared RNG state), so a campaign's outcome is a pure
+function of its task list.  :func:`derive_seed` turns a base seed plus any
+hashable coordinates into a stable per-task seed for callers that want many
+distinct-but-reproducible seeds without enumerating them by hand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.algorithm import Algorithm
+from ..core.errors import VerificationError
+from ..core.execution import ExecutionResult
+from ..core.grid import Grid
+from .suites import default_grid_suite
+from .walk import TieBreak, run_async, run_fsync, run_ssync
+
+__all__ = [
+    "VerificationReport",
+    "GridSweepReport",
+    "CampaignTask",
+    "verify_one",
+    "run_task",
+    "execute_tasks",
+    "grid_sweep_tasks",
+    "stress_test_tasks",
+    "derive_seed",
+    "ParallelCampaignEngine",
+]
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+@dataclass
+class VerificationReport:
+    """Outcome of a single verification run."""
+
+    algorithm: str
+    model: str
+    m: int
+    n: int
+    seed: Optional[int]
+    ok: bool
+    steps: int
+    moves: int
+    reason: str
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else f"FAILED ({self.reason})"
+        seed = "" if self.seed is None else f", seed={self.seed}"
+        return f"{self.algorithm} {self.m}x{self.n} [{self.model}{seed}]: {status}"
+
+
+@dataclass
+class GridSweepReport:
+    """Aggregated outcome of a verification campaign."""
+
+    algorithm: str
+    reports: List[VerificationReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every individual run succeeded."""
+        return all(report.ok for report in self.reports)
+
+    @property
+    def failures(self) -> List[VerificationReport]:
+        return [report for report in self.reports if not report.ok]
+
+    def raise_on_failure(self) -> "GridSweepReport":
+        """Raise :class:`VerificationError` if any run failed; return self."""
+        if not self.ok:
+            raise VerificationError(
+                f"{self.algorithm}: {len(self.failures)} verification failures, e.g. {self.failures[0]}"
+            )
+        return self
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm}: {len(self.reports) - len(self.failures)}/{len(self.reports)}"
+            " verification runs succeeded"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Single runs
+# ---------------------------------------------------------------------------
+def _execute(
+    algorithm: Algorithm,
+    grid: Grid,
+    model: str,
+    seed: Optional[int],
+    tie_break: str,
+    max_steps: Optional[int],
+) -> ExecutionResult:
+    if model == "FSYNC":
+        return run_fsync(algorithm, grid, tie_break=tie_break, max_steps=max_steps)
+    # Pass the seed through run_* (which builds the default RandomSubset /
+    # RandomAsync scheduler from it) instead of constructing the scheduler
+    # here, so the seed recorded on the ExecutionResult is the one that
+    # actually drove the run and replays it exactly.
+    if model == "SSYNC":
+        return run_ssync(algorithm, grid, seed=seed or 0, tie_break=tie_break, max_steps=max_steps)
+    if model == "ASYNC":
+        return run_async(algorithm, grid, seed=seed or 0, tie_break=tie_break, max_steps=max_steps)
+    raise VerificationError(f"unknown model {model!r}")
+
+
+def verify_one(
+    algorithm: Algorithm,
+    m: int,
+    n: int,
+    model: str = "FSYNC",
+    seed: Optional[int] = None,
+    tie_break: str = TieBreak.ERROR,
+    max_steps: Optional[int] = None,
+) -> VerificationReport:
+    """Check Definition 1 on one bounded execution."""
+    grid = Grid(m, n)
+    try:
+        result = _execute(algorithm, grid, model, seed, tie_break, max_steps)
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        return VerificationReport(
+            algorithm=algorithm.name,
+            model=model,
+            m=m,
+            n=n,
+            seed=seed,
+            ok=False,
+            steps=0,
+            moves=0,
+            reason=f"{type(exc).__name__}: {exc}",
+        )
+    ok = result.is_terminating_exploration
+    reason = "ok"
+    if not result.terminated:
+        reason = f"did not terminate within {result.steps} steps"
+    elif not result.explored:
+        reason = f"terminated with {len(result.unvisited)} unvisited nodes"
+    return VerificationReport(
+        algorithm=algorithm.name,
+        model=model,
+        m=m,
+        n=n,
+        seed=seed,
+        ok=ok,
+        steps=result.steps,
+        moves=result.total_moves,
+        reason=reason,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Work items
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignTask:
+    """One independent, picklable verification work item.
+
+    ``algorithm`` is a registry name so the task can cross a process
+    boundary (rule sets carry lambdas and cannot be pickled).
+    """
+
+    algorithm: str
+    m: int
+    n: int
+    model: str = "FSYNC"
+    seed: Optional[int] = None
+    tie_break: str = TieBreak.ERROR
+    max_steps: Optional[int] = None
+
+
+def run_task(task: CampaignTask) -> VerificationReport:
+    """Execute one task, resolving its algorithm through the registry.
+
+    This is the worker entry point of the parallel engine; it must stay a
+    module-level function so ``multiprocessing`` can pickle it.
+    """
+    from ..algorithms import registry  # local import: avoids a layering cycle
+
+    return verify_one(
+        registry.get(task.algorithm),
+        task.m,
+        task.n,
+        model=task.model,
+        seed=task.seed,
+        tie_break=task.tie_break,
+        max_steps=task.max_steps,
+    )
+
+
+def execute_tasks(algorithm: Algorithm, tasks: Iterable[CampaignTask]) -> List[VerificationReport]:
+    """Run tasks serially against an in-hand algorithm object.
+
+    Unlike :func:`run_task` this works for algorithms that are not in the
+    registry (ad-hoc/test algorithms); the results are identical to the
+    parallel path for registered ones because both call :func:`verify_one`.
+    """
+    return [
+        verify_one(
+            algorithm,
+            task.m,
+            task.n,
+            model=task.model,
+            seed=task.seed,
+            tie_break=task.tie_break,
+            max_steps=task.max_steps,
+        )
+        for task in tasks
+    ]
+
+
+def grid_sweep_tasks(
+    algorithm: Algorithm,
+    sizes: Optional[Iterable[Tuple[int, int]]] = None,
+    model: str = "FSYNC",
+    seed: Optional[int] = None,
+    tie_break: str = TieBreak.ERROR,
+) -> List[CampaignTask]:
+    """The task list of a grid sweep (one run per supported size)."""
+    sizes = list(sizes) if sizes is not None else default_grid_suite(algorithm)
+    return [
+        CampaignTask(algorithm=algorithm.name, m=m, n=n, model=model, seed=seed, tie_break=tie_break)
+        for m, n in sizes
+        if algorithm.supports_grid(m, n)
+    ]
+
+
+def stress_test_tasks(
+    algorithm: Algorithm,
+    sizes: Optional[Iterable[Tuple[int, int]]] = None,
+    models: Sequence[str] = ("SSYNC", "ASYNC"),
+    seeds: Sequence[int] = tuple(range(10)),
+    tie_break: str = TieBreak.FIRST,
+) -> List[CampaignTask]:
+    """The task list of a randomized-scheduler stress campaign."""
+    sizes = list(sizes) if sizes is not None else default_grid_suite(algorithm, max_side=7)
+    return [
+        CampaignTask(algorithm=algorithm.name, m=m, n=n, model=model, seed=seed, tie_break=tie_break)
+        for m, n in sizes
+        if algorithm.supports_grid(m, n)
+        for model in models
+        for seed in seeds
+    ]
+
+
+def derive_seed(base: int, *coordinates) -> int:
+    """A stable 63-bit seed derived from a base seed and any coordinates.
+
+    Pure function of its arguments (SHA-256 over their repr), so campaigns
+    that need one distinct seed per ``(grid, model, run)`` cell stay fully
+    reproducible without enumerating seeds by hand.
+    """
+    digest = hashlib.sha256(repr((base,) + coordinates).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+# ---------------------------------------------------------------------------
+# The parallel engine
+# ---------------------------------------------------------------------------
+class ParallelCampaignEngine:
+    """Fans campaign work items across a ``multiprocessing`` pool.
+
+    Results come back in task order, and every run is driven purely by the
+    seed in its task, so ``workers=N`` produces reports identical to the
+    serial path.  Algorithms are shipped to workers by registry name;
+    unregistered (ad-hoc) algorithms fall back to in-process execution.
+    """
+
+    def __init__(self, workers: Optional[int] = None, chunksize: int = 4) -> None:
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.chunksize = max(1, chunksize)
+
+    # -- execution -----------------------------------------------------
+    def run_tasks(self, algorithm: Algorithm, tasks: Sequence[CampaignTask]) -> List[VerificationReport]:
+        tasks = list(tasks)
+        if self.workers <= 1 or len(tasks) <= 1 or not self._registered(algorithm):
+            return execute_tasks(algorithm, tasks)
+        import multiprocessing
+
+        # The platform-default start method (fork on Linux, spawn on macOS/
+        # Windows) is the safe choice: tasks and run_task are picklable and
+        # re-import everything they need, so they are spawn-safe, and forcing
+        # fork on macOS can deadlock threaded parents.
+        context = multiprocessing.get_context()
+        with context.Pool(processes=min(self.workers, len(tasks))) as pool:
+            return pool.map(run_task, tasks, chunksize=self.chunksize)
+
+    @staticmethod
+    def _registered(algorithm: Algorithm) -> bool:
+        from ..algorithms import registry  # local import: avoids a layering cycle
+
+        return registry.all_algorithms().get(algorithm.name) is algorithm
+
+    # -- campaign shapes (mirroring the serial entry points) ------------
+    def grid_sweep(
+        self,
+        algorithm: Algorithm,
+        sizes: Optional[Iterable[Tuple[int, int]]] = None,
+        model: str = "FSYNC",
+        seed: Optional[int] = None,
+        tie_break: str = TieBreak.ERROR,
+    ) -> GridSweepReport:
+        tasks = grid_sweep_tasks(algorithm, sizes=sizes, model=model, seed=seed, tie_break=tie_break)
+        return GridSweepReport(algorithm=algorithm.name, reports=self.run_tasks(algorithm, tasks))
+
+    def stress_test(
+        self,
+        algorithm: Algorithm,
+        sizes: Optional[Iterable[Tuple[int, int]]] = None,
+        models: Sequence[str] = ("SSYNC", "ASYNC"),
+        seeds: Sequence[int] = tuple(range(10)),
+        tie_break: str = TieBreak.FIRST,
+    ) -> GridSweepReport:
+        tasks = stress_test_tasks(algorithm, sizes=sizes, models=models, seeds=seeds, tie_break=tie_break)
+        return GridSweepReport(algorithm=algorithm.name, reports=self.run_tasks(algorithm, tasks))
+
+    def verify_algorithm(
+        self,
+        algorithm: Algorithm,
+        sizes: Optional[Iterable[Tuple[int, int]]] = None,
+        seeds: Sequence[int] = tuple(range(5)),
+    ) -> GridSweepReport:
+        """The full campaign appropriate for an algorithm's claimed model."""
+        tasks = grid_sweep_tasks(algorithm, sizes=sizes, model="FSYNC")
+        if algorithm.synchrony == "ASYNC":
+            tasks.extend(stress_test_tasks(algorithm, sizes=sizes, seeds=seeds))
+        return GridSweepReport(algorithm=algorithm.name, reports=self.run_tasks(algorithm, tasks))

@@ -1,0 +1,234 @@
+"""Frontier-based exploration of a transition system's state space.
+
+The explorer is the checking half of the engine kernel: starting from the
+transition system's initial state it discovers every reachable canonical
+state with a breadth-first frontier, interning states into dense integer
+indices (so the graph algorithms below run on plain int lists instead of
+re-hashing dataclasses), and optionally quotienting by grid symmetry
+(:mod:`repro.engine.symmetry`).
+
+When symmetry reduction is on, every raw successor is replaced by its orbit
+representative and the edge is labelled with the symmetry ``h`` mapping the
+representative's coordinates back to the raw successor's.  Termination is
+preserved by the quotient (a quotient cycle lifts to an infinite — hence,
+on a finite space, cyclic — raw execution and vice versa); coverage is
+computed exactly by pushing guaranteed-node sets through the edge labels.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from ..core.errors import StateSpaceLimitExceeded
+from ..core.grid import Node
+from .states import SchedulerState
+from .symmetry import GridSymmetry, canonicalize, grid_symmetries
+from .transition import TransitionSystem
+
+__all__ = ["Exploration", "explore", "has_cycle", "topological_order", "guaranteed_nodes"]
+
+
+@dataclass
+class Exploration:
+    """The interned successor graph of one exploration."""
+
+    #: Synchrony model the graph was built under.
+    model: str
+    #: Whether the graph is the symmetry-reduced quotient.
+    reduced: bool
+    #: Index -> canonical state (orbit representatives when ``reduced``).
+    states: List[SchedulerState]
+    #: Canonical state -> index (the interning table).
+    index: Dict[SchedulerState, int]
+    #: Index -> successor indices.
+    succ: List[List[int]]
+    #: When ``reduced``: per-edge symmetry ``h`` with ``raw = h(rep)``
+    #: (``None`` entries mean the identity).  ``None`` when not reduced.
+    edge_syms: Optional[List[List[Optional[GridSymmetry]]]]
+    #: Index of the (canonicalised) initial state.
+    root: int
+    #: Symmetry mapping the canonical root back to the raw initial state
+    #: (``None`` for the identity or when not reduced).
+    root_sym: Optional[GridSymmetry] = field(default=None)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def terminal_indices(self) -> List[int]:
+        return [i for i, children in enumerate(self.succ) if not children]
+
+    def graph(self) -> Dict[SchedulerState, List[SchedulerState]]:
+        """The state-keyed successor mapping (backward-compatible shape)."""
+        states = self.states
+        return {states[i]: [states[j] for j in children] for i, children in enumerate(self.succ)}
+
+
+def explore(
+    ts: TransitionSystem,
+    *,
+    symmetry_reduction: bool = False,
+    max_states: int = 200_000,
+    start: Optional[SchedulerState] = None,
+) -> Exploration:
+    """Build the (optionally symmetry-reduced) reachable successor graph.
+
+    Raises :class:`~repro.core.errors.StateSpaceLimitExceeded` — with the
+    exploration context attached — as soon as more than ``max_states``
+    distinct states have been discovered.
+    """
+    symmetries = grid_symmetries(ts.grid, ts.algorithm.chirality) if symmetry_reduction else ()
+    reduce = symmetry_reduction and len(symmetries) > 1
+
+    root_raw = start if start is not None else ts.initial()
+    root_sym: Optional[GridSymmetry] = None
+    if reduce:
+        root_state, root_sym = canonicalize(root_raw, symmetries)
+    else:
+        root_state = root_raw
+
+    states: List[SchedulerState] = [root_state]
+    index: Dict[SchedulerState, int] = {root_state: 0}
+    succ: List[List[int]] = []
+    edge_syms: Optional[List[List[Optional[GridSymmetry]]]] = [] if reduce else None
+    frontier = deque([0])
+
+    while frontier:
+        current = frontier.popleft()
+        # BFS discovers states in index order, so expansions align with succ.
+        assert current == len(succ)
+        row: List[int] = []
+        row_syms: List[Optional[GridSymmetry]] = []
+        for raw in ts.successors(states[current]):
+            if reduce:
+                rep, h = canonicalize(raw, symmetries)
+            else:
+                rep, h = raw, None
+            child = index.get(rep)
+            if child is None:
+                child = len(states)
+                if child >= max_states:
+                    raise StateSpaceLimitExceeded(
+                        f"{ts.algorithm.name} on {ts.grid.m}x{ts.grid.n} [{ts.model}]:"
+                        f" state budget of {max_states} exceeded after expanding"
+                        f" {len(succ)} states ({len(states)} discovered,"
+                        f" frontier size {len(frontier)}"
+                        + (", symmetry reduction on)" if reduce else ")"),
+                        algorithm=ts.algorithm.name,
+                        model=ts.model,
+                        max_states=max_states,
+                        states_explored=len(succ),
+                        frontier_size=len(frontier),
+                    )
+                index[rep] = child
+                states.append(rep)
+                frontier.append(child)
+            row.append(child)
+            if reduce:
+                row_syms.append(h)
+        succ.append(row)
+        if reduce:
+            assert edge_syms is not None
+            edge_syms.append(row_syms)
+
+    return Exploration(
+        model=ts.model,
+        reduced=reduce,
+        states=states,
+        index=index,
+        succ=succ,
+        edge_syms=edge_syms,
+        root=0,
+        root_sym=root_sym,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Graph analyses (over the interned int graph)
+# ---------------------------------------------------------------------------
+def has_cycle(succ: List[List[int]]) -> bool:
+    """Iterative three-color DFS cycle detection."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = [WHITE] * len(succ)
+    for root in range(len(succ)):
+        if color[root] != WHITE:
+            continue
+        stack = [(root, 0)]
+        color[root] = GRAY
+        while stack:
+            state, child_index = stack[-1]
+            children = succ[state]
+            if child_index < len(children):
+                stack[-1] = (state, child_index + 1)
+                child = children[child_index]
+                if color[child] == GRAY:
+                    return True
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    stack.append((child, 0))
+            else:
+                color[state] = BLACK
+                stack.pop()
+    return False
+
+
+def topological_order(succ: List[List[int]]) -> List[int]:
+    """Reverse-postorder DFS: children appear before parents (valid for DAGs)."""
+    visited = [False] * len(succ)
+    order: List[int] = []
+    for root in range(len(succ)):
+        if visited[root]:
+            continue
+        stack = [(root, 0)]
+        visited[root] = True
+        while stack:
+            state, child_index = stack[-1]
+            children = succ[state]
+            if child_index < len(children):
+                stack[-1] = (state, child_index + 1)
+                child = children[child_index]
+                if not visited[child]:
+                    visited[child] = True
+                    stack.append((child, 0))
+            else:
+                order.append(state)
+                stack.pop()
+    return order
+
+
+def guaranteed_nodes(exploration: Exploration) -> List[FrozenSet[Node]]:
+    """The nodes *guaranteed* to be visited from each state, for acyclic graphs.
+
+    Backward fixpoint over the DAG: a terminal state guarantees exactly its
+    occupied nodes; an inner state guarantees its occupied nodes plus the
+    intersection of its successors' guarantees.  Across symmetry-collapsed
+    edges the successor's guarantee is mapped through the edge label first
+    (``raw = h(rep)`` implies ``guaranteed(raw) = h(guaranteed(rep))``).
+    """
+    states = exploration.states
+    succ = exploration.succ
+    edge_syms = exploration.edge_syms
+    result: List[Optional[FrozenSet[Node]]] = [None] * len(states)
+    for current in topological_order(succ):  # children before parents
+        occupied = frozenset(states[current].occupied_nodes())
+        children = succ[current]
+        if not children:
+            result[current] = occupied
+            continue
+        syms = edge_syms[current] if edge_syms is not None else None
+
+        def mapped(position: int) -> FrozenSet[Node]:
+            guarantee = result[children[position]]
+            assert guarantee is not None  # children precede parents in the order
+            h = syms[position] if syms is not None else None
+            if h is None:
+                return guarantee
+            return frozenset(h.node(node) for node in guarantee)
+
+        common = mapped(0)
+        for position in range(1, len(children)):
+            common = common & mapped(position)
+        result[current] = occupied | common
+    return result  # type: ignore[return-value]

@@ -1,0 +1,155 @@
+"""Memoized per-robot snapshot and rule-match computation.
+
+Rule matching is the hot inner loop of every engine consumer: evaluating a
+robot's rules means building its radius-``phi`` snapshot and testing every
+``(rule, symmetry)`` pair (up to ``|rules| * 8`` guard evaluations over 5 or
+13 cells).  But a snapshot only depends on the *local neighbourhood* — the
+robot's node plus the positions/colors of robots within distance ``phi`` —
+and during a simulation or state-space exploration the same local patterns
+recur constantly (a robot sweeping an empty row sees the same neighbourhood
+at every column).
+
+:class:`LocalMatcher` memoizes three layers on that observation, keyed on
+a *translation-invariant* neighbourhood description (phi-capped boundary
+distances plus relative robot offsets), so the sweeping robot above really
+does hit the cache at every interior column:
+
+* ``(walls, relative neighbourhood) -> snapshot``  (snapshot construction),
+* ``(color, walls, relative neighbourhood) -> matches``  (rule evaluation),
+* ``(color, frozen snapshot) -> matches``  (re-evaluation of stored ASYNC
+  snapshots during Compute).
+
+One matcher is created per run/exploration and shared between all robots;
+for a fixed ``(algorithm, grid)`` it may also be reused across runs, which
+is what gives the model checker and the campaign engine their throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ..core.algorithm import Action, Algorithm, Match
+from ..core.grid import Grid, Node
+from ..core.views import Snapshot, ball_offsets
+
+__all__ = ["LocalMatcher"]
+
+#: A canonical, *position-independent* description of a robot's local
+#: neighbourhood: the wall pattern (its distances to the four grid
+#: boundaries, each capped at ``phi``) plus the sorted relative
+#: ``(offset, color)`` pairs within distance ``phi``.  Two robots whose
+#: neighbourhoods coincide up to translation share one key — this is what
+#: lets a robot sweeping an empty row hit the cache at every column.
+LocalKey = Tuple[Tuple[int, int, int, int], Tuple[Tuple[Node, str], ...]]
+
+
+class LocalMatcher:
+    """Snapshot/match computation for one ``(algorithm, grid)`` pair, memoized."""
+
+    __slots__ = ("algorithm", "grid", "_snapshots", "_matches", "_actions", "_frozen_matches")
+
+    def __init__(self, algorithm: Algorithm, grid: Grid) -> None:
+        self.algorithm = algorithm
+        self.grid = grid
+        self._snapshots: Dict[LocalKey, Snapshot] = {}
+        self._matches: Dict[Tuple[str, LocalKey], Tuple[Match, ...]] = {}
+        self._actions: Dict[Tuple[str, LocalKey], Tuple[Action, ...]] = {}
+        self._frozen_matches: Dict[tuple, Tuple[Match, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Local neighbourhood keys
+    # ------------------------------------------------------------------
+    def local_key(self, robots: Iterable, center: Node) -> LocalKey:
+        """The memoization key for a robot at ``center``.
+
+        ``robots`` is any iterable of objects with ``pos`` and ``color``
+        attributes (live :class:`~repro.core.robot.Robot` instances or the
+        frozen records of a canonical state).  The key is translation
+        invariant: only boundary distances capped at ``phi`` and *relative*
+        robot offsets enter it, so identical local patterns at different
+        grid positions share one cache entry.
+        """
+        phi = self.algorithm.phi
+        ci, cj = center
+        near = []
+        for robot in robots:
+            pos = robot.pos
+            di = pos[0] - ci
+            dj = pos[1] - cj
+            if abs(di) + abs(dj) <= phi:
+                near.append(((di, dj), robot.color))
+        near.sort()
+        grid = self.grid
+        walls = (
+            min(ci, phi),
+            min(grid.m - 1 - ci, phi),
+            min(cj, phi),
+            min(grid.n - 1 - cj, phi),
+        )
+        return (walls, tuple(near))
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self, robots: Iterable, center: Node) -> Snapshot:
+        """The (shared, do-not-mutate) snapshot a robot at ``center`` takes."""
+        return self._snapshot_for(self.local_key(robots, center))
+
+    def _snapshot_for(self, key: LocalKey) -> Snapshot:
+        snapshot = self._snapshots.get(key)
+        if snapshot is None:
+            (north, south, west, east), near = key
+            per_cell: Dict[Node, list] = {}
+            for offset, color in near:  # near is sorted, so color lists come out sorted
+                per_cell.setdefault(offset, []).append(color)
+            snapshot = {}
+            for offset in ball_offsets(self.algorithm.phi):
+                di, dj = offset
+                # The cell exists iff the (phi-capped) boundary distances
+                # admit it; |di|, |dj| <= phi, so the caps lose nothing.
+                if di < -north or di > south or dj < -west or dj > east:
+                    snapshot[offset] = None
+                else:
+                    snapshot[offset] = tuple(per_cell.get(offset, ()))
+            self._snapshots[key] = snapshot
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Matches and actions
+    # ------------------------------------------------------------------
+    def matches(self, robots: Iterable, center: Node, color: str) -> Tuple[Match, ...]:
+        """All (rule, symmetry) matches for a robot at ``center`` with light ``color``."""
+        key = self.local_key(robots, center)
+        cache_key = (color, key)
+        cached = self._matches.get(cache_key)
+        if cached is None:
+            cached = tuple(self.algorithm.matches_for_snapshot(self._snapshot_for(key), color))
+            self._matches[cache_key] = cached
+        return cached
+
+    def actions(self, robots: Iterable, center: Node, color: str) -> Tuple[Action, ...]:
+        """The distinct enabled actions for a robot at ``center`` with light ``color``."""
+        key = self.local_key(robots, center)
+        cache_key = (color, key)
+        cached = self._actions.get(cache_key)
+        if cached is None:
+            cached = tuple(self.algorithm.distinct_actions(self.matches(robots, center, color)))
+            self._actions[cache_key] = cached
+        return cached
+
+    def matches_for_frozen(self, frozen, color: str) -> Tuple[Match, ...]:
+        """Matches against a stored (frozen) ASYNC snapshot."""
+        cache_key = (color, frozen)
+        cached = self._frozen_matches.get(cache_key)
+        if cached is None:
+            cached = tuple(self.algorithm.matches_for_snapshot(dict(frozen), color))
+            self._frozen_matches[cache_key] = cached
+        return cached
+
+    def matches_for_snapshot(self, snapshot: Snapshot, color: str) -> Tuple[Match, ...]:
+        """Matches against a live snapshot dictionary (memoized via freezing)."""
+        return self.matches_for_frozen(tuple(sorted(snapshot.items())), color)
+
+    def enabled(self, robots: Iterable, center: Node, color: str) -> bool:
+        """Whether some rule matches some view of a robot at ``center``."""
+        return bool(self.matches(robots, center, color))

@@ -1,0 +1,46 @@
+"""Shared grid-size suites — the single source of truth for campaigns.
+
+Both the verification campaigns (:mod:`repro.verification.campaigns`) and
+the scaling analysis (:mod:`repro.analysis.scaling`) used to carry their
+own copies of these families; they now both import from here so a change
+to the suite definition lands everywhere at once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.algorithm import Algorithm
+
+__all__ = ["default_grid_suite", "scaling_suite"]
+
+
+def default_grid_suite(algorithm: Algorithm, max_side: int = 9) -> List[Tuple[int, int]]:
+    """A representative family of grid sizes for ``algorithm``.
+
+    Covers both parities of each dimension, the minimum supported sizes,
+    thin grids (2 rows / few columns) and a couple of larger squares.
+    """
+    m0, n0 = algorithm.min_m, algorithm.min_n
+    candidates = {
+        (m0, n0),
+        (m0, n0 + 1),
+        (m0 + 1, n0),
+        (m0 + 1, n0 + 1),
+        (2, max(n0, 7)),
+        (max(m0, 7), n0),
+        (5, max(n0, 6)),
+        (6, max(n0, 5)),
+        (max_side, max(n0, max_side - 1)),
+        (max(m0, max_side - 1), max_side),
+    }
+    return sorted((m, n) for m, n in candidates if m >= m0 and n >= n0)
+
+
+def scaling_suite(algorithm: Algorithm, max_side: int = 11) -> List[Tuple[int, int]]:
+    """The near-square ramp plus thin extremes used by the scaling sweeps."""
+    base = max(algorithm.min_n, 4)
+    return [(side, side + 1) for side in range(max(algorithm.min_m, 3), max_side + 1)] + [
+        (3, base * 4),
+        (base * 4, 3 if algorithm.min_n <= 3 else algorithm.min_n),
+    ]

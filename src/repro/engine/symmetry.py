@@ -1,0 +1,164 @@
+"""Grid-symmetry reduction for the state-space explorer.
+
+The paper's guards match a snapshot under every view symmetry the robots
+cannot distinguish: the four rotations with a common chirality, the full
+dihedral group D4 without one (:func:`repro.core.views.symmetries_for`).
+A direct consequence is that the *global* dynamics commute with every grid
+automorphism whose linear part lies in that group: if ``g`` maps the grid
+onto itself and ``s'`` is a successor of ``s``, then ``g(s')`` is a
+successor of ``g(s)``.  Two states in the same orbit therefore generate
+isomorphic sub-state-spaces and only one representative needs exploring —
+the classic symmetry-reduction trick of explicit-state model checkers.
+
+Soundness of the restriction to ``symmetries_for(chirality)``: with a
+common chirality, rule matching only quantifies over rotations, so a
+*reflected* configuration may behave differently — reflections are only
+folded in for chirality-free algorithms, where matching already quantifies
+over them.
+
+An ``m x n`` grid admits the identity and the 180-degree rotation for any
+shape, the axis flips when reflections are allowed, and the four diagonal
+elements (rot90/rot270/transpose/antitranspose) only when ``m == n``.
+
+Coverage accounting across collapsed edges needs the witnessing symmetry:
+if a raw successor ``u`` canonicalises to representative ``r`` via
+``r = g(u)``, then the set of nodes guaranteed to be visited from ``u`` is
+``h(guaranteed(r))`` with ``h = g^-1``.  :func:`canonicalize` returns that
+``h`` so the explorer can label the quotient edge with it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..core.grid import Grid, Node
+from ..core.views import ALL_SYMMETRIES, IDENTITY, Symmetry, symmetries_for
+from .states import AsyncRobotState, SchedulerState
+
+__all__ = ["GridSymmetry", "grid_symmetries", "transform_state", "canonicalize"]
+
+
+class GridSymmetry:
+    """A symmetry of the ``m x n`` grid induced by a D4 element.
+
+    The node action is ``v -> sigma(v) + t`` where ``t`` translates the
+    image of the ``[0, m) x [0, n)`` rectangle back onto itself; offsets
+    (relative moves, snapshot cells) transform by the linear part alone.
+    """
+
+    __slots__ = ("symmetry", "m", "n", "_ti", "_tj", "preserves_shape")
+
+    def __init__(self, symmetry: Symmetry, m: int, n: int) -> None:
+        self.symmetry = symmetry
+        self.m = m
+        self.n = n
+        corners = ((0, 0), (m - 1, 0), (0, n - 1), (m - 1, n - 1))
+        images = [symmetry.apply(corner) for corner in corners]
+        min_i = min(i for i, _ in images)
+        max_i = max(i for i, _ in images)
+        min_j = min(j for _, j in images)
+        max_j = max(j for _, j in images)
+        self._ti = -min_i
+        self._tj = -min_j
+        self.preserves_shape = (max_i - min_i == m - 1) and (max_j - min_j == n - 1)
+
+    @property
+    def name(self) -> str:
+        return self.symmetry.name
+
+    @property
+    def is_identity(self) -> bool:
+        return self.symmetry.matrix() == ((1, 0), (0, 1))
+
+    def node(self, node: Node) -> Node:
+        """The image of a grid node."""
+        i, j = self.symmetry.apply(node)
+        return (i + self._ti, j + self._tj)
+
+    def offset(self, offset: Tuple[int, int]) -> Tuple[int, int]:
+        """The image of a relative offset (linear part only)."""
+        return self.symmetry.apply(offset)
+
+    def inverse(self) -> "GridSymmetry":
+        """The inverse grid symmetry (D4 is a group, so it always exists)."""
+        for candidate in ALL_SYMMETRIES:
+            if (
+                candidate.apply(self.symmetry.apply((1, 0))) == (1, 0)
+                and candidate.apply(self.symmetry.apply((0, 1))) == (0, 1)
+            ):
+                return GridSymmetry(candidate, self.m, self.n)
+        raise AssertionError(f"no inverse for {self.name}")  # pragma: no cover
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GridSymmetry({self.name}, {self.m}x{self.n})"
+
+
+def grid_symmetries(grid: Grid, chirality: bool) -> Tuple[GridSymmetry, ...]:
+    """The grid automorphisms usable for reduction, mindful of chirality.
+
+    Always contains the identity first.  With ``chirality=True`` only the
+    rotations are candidates; without it all eight D4 elements are.  The
+    diagonal elements survive only on square grids.
+    """
+    result = []
+    for symmetry in symmetries_for(chirality):
+        candidate = GridSymmetry(symmetry, grid.m, grid.n)
+        if candidate.preserves_shape:
+            result.append(candidate)
+    return tuple(result)
+
+
+def transform_state(state: SchedulerState, gs: GridSymmetry) -> SchedulerState:
+    """The image of a canonical scheduler state under a grid symmetry.
+
+    Positions map through the node action; stored ASYNC snapshots and
+    pending moves map through the linear part (a robot's local view rotates
+    with the world around it); colors and phases are invariant.
+    """
+    records = []
+    for record in state.robots:
+        snapshot = record.snapshot
+        if snapshot is not None:
+            snapshot = tuple(sorted((gs.offset(offset), content) for offset, content in snapshot))
+        pending_move = record.pending_move
+        if pending_move is not None:
+            pending_move = gs.offset(pending_move)
+        records.append(
+            AsyncRobotState(
+                pos=gs.node(record.pos),
+                color=record.color,
+                phase=record.phase,
+                snapshot=snapshot,
+                pending_color=record.pending_color,
+                pending_move=pending_move,
+            )
+        )
+    return SchedulerState.from_records(records)
+
+
+def canonicalize(
+    state: SchedulerState, symmetries: Iterable[GridSymmetry]
+) -> Tuple[SchedulerState, Optional[GridSymmetry]]:
+    """The orbit representative of ``state`` and the symmetry that undoes it.
+
+    Returns ``(rep, h)`` with ``state = h(rep)`` (``h`` is ``None`` when the
+    state is its own representative under the identity).  The representative
+    is the orbit member with the smallest :meth:`SchedulerState.sort_key`,
+    which is injective, so every member of an orbit canonicalises to the
+    same state regardless of enumeration order.
+    """
+    best = state
+    best_key = state.sort_key()
+    best_sym: Optional[GridSymmetry] = None
+    for gs in symmetries:
+        if gs.is_identity:
+            continue
+        candidate = transform_state(state, gs)
+        key = candidate.sort_key()
+        if key < best_key:
+            best = candidate
+            best_key = key
+            best_sym = gs
+    if best_sym is None:
+        return best, None
+    return best, best_sym.inverse()

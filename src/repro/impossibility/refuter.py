@@ -34,11 +34,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..checking.model_checker import successors
-from ..checking.states import SchedulerState, initial_state
 from ..core.algorithm import Algorithm
 from ..core.errors import StateSpaceLimitExceeded
 from ..core.grid import Grid, Node
+from ..engine.states import SchedulerState, initial_state
+from ..engine.transition import AlgorithmTransitionSystem
 
 __all__ = ["AdversaryWitness", "adversary_prevents_node", "refute_terminating_exploration"]
 
@@ -84,20 +84,13 @@ def adversary_prevents_node(
     if node in root.occupied_nodes():
         return None
 
+    # One transition system for the whole search, so the kernel's
+    # snapshot/match memoization is shared across every expansion.
+    ts = AlgorithmTransitionSystem(algorithm, grid, model)
+
     graph: Dict[SchedulerState, List[SchedulerState]] = {}
     on_path: Set[SchedulerState] = set()
     found: Optional[str] = None
-
-    def expand(state: SchedulerState) -> List[SchedulerState]:
-        if state not in graph:
-            if len(graph) >= max_states:
-                raise StateSpaceLimitExceeded(
-                    f"{algorithm.name} on {grid.m}x{grid.n}: more than {max_states} states"
-                )
-            graph[state] = [
-                nxt for nxt in successors(algorithm, grid, state, model) if node not in nxt.occupied_nodes()
-            ]
-        return graph[state]
 
     # Iterative DFS looking for a terminal state or a cycle within the
     # restricted (node never occupied) graph.
@@ -110,11 +103,24 @@ def adversary_prevents_node(
     # count as termination.
     while stack and found is None:
         state, child_index = stack[-1]
-        unrestricted = successors(algorithm, grid, state, model)
-        if not unrestricted:
-            found = "terminal"
-            break
-        children = expand(state)
+        if state not in graph:
+            unrestricted = ts.successors(state)
+            if not unrestricted:
+                found = "terminal"
+                break
+            if len(graph) >= max_states:
+                raise StateSpaceLimitExceeded(
+                    f"{algorithm.name} on {grid.m}x{grid.n} [{model}]: state budget of"
+                    f" {max_states} exceeded while refuting node {node}",
+                    algorithm=algorithm.name,
+                    model=model,
+                    max_states=max_states,
+                    states_explored=len(graph),
+                )
+            graph[state] = [
+                nxt for nxt in unrestricted if node not in nxt.occupied_nodes()
+            ]
+        children = graph[state]
         if child_index < len(children):
             stack[-1] = (state, child_index + 1)
             child = children[child_index]

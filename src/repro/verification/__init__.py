@@ -2,7 +2,9 @@
 
 from .campaigns import (
     GridSweepReport,
+    ParallelCampaignEngine,
     VerificationReport,
+    default_grid_suite,
     grid_sweep,
     stress_test,
     verify_algorithm,
@@ -12,8 +14,10 @@ from .campaigns import (
 __all__ = [
     "VerificationReport",
     "GridSweepReport",
+    "ParallelCampaignEngine",
     "verify_terminating_exploration",
     "verify_algorithm",
     "grid_sweep",
     "stress_test",
+    "default_grid_suite",
 ]

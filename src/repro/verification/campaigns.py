@@ -12,131 +12,42 @@ replaces the proofs with three executable checks of increasing strength:
 
 Exhaustive exploration of *all* scheduler behaviours on small grids is the
 job of :mod:`repro.checking`; the campaigns here scale to larger grids.
+
+The execution machinery lives in the engine kernel
+(:mod:`repro.engine.campaign`): every campaign is a flat list of
+independent :class:`~repro.engine.campaign.CampaignTask` work items, run
+here serially.  The same task lists can be fanned across a process pool —
+with byte-identical reports — through
+:class:`~repro.engine.campaign.ParallelCampaignEngine`, re-exported here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from ..core.algorithm import Algorithm
-from ..core.errors import VerificationError
-from ..core.execution import ExecutionResult
-from ..core.grid import Grid
-from ..core.scheduler import RandomAsync, RandomSubset, SingleRandom, SingleSequential
-from ..core.simulator import TieBreak, run, run_async, run_fsync, run_ssync
+from ..core.simulator import TieBreak
+from ..engine.campaign import (
+    GridSweepReport,
+    ParallelCampaignEngine,
+    VerificationReport,
+    execute_tasks,
+    grid_sweep_tasks,
+    stress_test_tasks,
+    verify_one,
+)
+from ..engine.suites import default_grid_suite
 
 __all__ = [
     "VerificationReport",
     "GridSweepReport",
+    "ParallelCampaignEngine",
     "verify_terminating_exploration",
     "verify_algorithm",
     "grid_sweep",
     "stress_test",
     "default_grid_suite",
 ]
-
-
-@dataclass
-class VerificationReport:
-    """Outcome of a single verification run."""
-
-    algorithm: str
-    model: str
-    m: int
-    n: int
-    seed: Optional[int]
-    ok: bool
-    steps: int
-    moves: int
-    reason: str
-
-    def __str__(self) -> str:
-        status = "ok" if self.ok else f"FAILED ({self.reason})"
-        seed = "" if self.seed is None else f", seed={self.seed}"
-        return f"{self.algorithm} {self.m}x{self.n} [{self.model}{seed}]: {status}"
-
-
-@dataclass
-class GridSweepReport:
-    """Aggregated outcome of a verification campaign."""
-
-    algorithm: str
-    reports: List[VerificationReport] = field(default_factory=list)
-
-    @property
-    def ok(self) -> bool:
-        """Whether every individual run succeeded."""
-        return all(report.ok for report in self.reports)
-
-    @property
-    def failures(self) -> List[VerificationReport]:
-        return [report for report in self.reports if not report.ok]
-
-    def raise_on_failure(self) -> "GridSweepReport":
-        """Raise :class:`VerificationError` if any run failed; return self."""
-        if not self.ok:
-            raise VerificationError(
-                f"{self.algorithm}: {len(self.failures)} verification failures, e.g. {self.failures[0]}"
-            )
-        return self
-
-    def summary(self) -> str:
-        return (
-            f"{self.algorithm}: {len(self.reports) - len(self.failures)}/{len(self.reports)}"
-            " verification runs succeeded"
-        )
-
-
-def default_grid_suite(algorithm: Algorithm, max_side: int = 9) -> List[Tuple[int, int]]:
-    """A representative family of grid sizes for ``algorithm``.
-
-    Covers both parities of each dimension, the minimum supported sizes,
-    thin grids (2 rows / few columns) and a couple of larger squares.
-    """
-    m0, n0 = algorithm.min_m, algorithm.min_n
-    candidates = {
-        (m0, n0),
-        (m0, n0 + 1),
-        (m0 + 1, n0),
-        (m0 + 1, n0 + 1),
-        (2, max(n0, 7)),
-        (max(m0, 7), n0),
-        (5, max(n0, 6)),
-        (6, max(n0, 5)),
-        (max_side, max(n0, max_side - 1)),
-        (max(m0, max_side - 1), max_side),
-    }
-    return sorted((m, n) for m, n in candidates if m >= m0 and n >= n0)
-
-
-def _execute(
-    algorithm: Algorithm,
-    grid: Grid,
-    model: str,
-    seed: Optional[int],
-    tie_break: str,
-    max_steps: Optional[int],
-) -> ExecutionResult:
-    if model == "FSYNC":
-        return run_fsync(algorithm, grid, tie_break=tie_break, max_steps=max_steps)
-    if model == "SSYNC":
-        return run_ssync(
-            algorithm,
-            grid,
-            scheduler=RandomSubset(seed=seed or 0),
-            tie_break=tie_break,
-            max_steps=max_steps,
-        )
-    if model == "ASYNC":
-        return run_async(
-            algorithm,
-            grid,
-            scheduler=RandomAsync(seed=seed or 0),
-            tie_break=tie_break,
-            max_steps=max_steps,
-        )
-    raise VerificationError(f"unknown model {model!r}")
 
 
 def verify_terminating_exploration(
@@ -149,38 +60,7 @@ def verify_terminating_exploration(
     max_steps: Optional[int] = None,
 ) -> VerificationReport:
     """Check Definition 1 on one bounded execution."""
-    grid = Grid(m, n)
-    try:
-        result = _execute(algorithm, grid, model, seed, tie_break, max_steps)
-    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
-        return VerificationReport(
-            algorithm=algorithm.name,
-            model=model,
-            m=m,
-            n=n,
-            seed=seed,
-            ok=False,
-            steps=0,
-            moves=0,
-            reason=f"{type(exc).__name__}: {exc}",
-        )
-    ok = result.is_terminating_exploration
-    reason = "ok"
-    if not result.terminated:
-        reason = f"did not terminate within {result.steps} steps"
-    elif not result.explored:
-        reason = f"terminated with {len(result.unvisited)} unvisited nodes"
-    return VerificationReport(
-        algorithm=algorithm.name,
-        model=model,
-        m=m,
-        n=n,
-        seed=seed,
-        ok=ok,
-        steps=result.steps,
-        moves=result.total_moves,
-        reason=reason,
-    )
+    return verify_one(algorithm, m, n, model=model, seed=seed, tie_break=tie_break, max_steps=max_steps)
 
 
 def grid_sweep(
@@ -191,15 +71,8 @@ def grid_sweep(
     tie_break: str = TieBreak.ERROR,
 ) -> GridSweepReport:
     """Verify terminating exploration over a family of grid sizes."""
-    sizes = list(sizes) if sizes is not None else default_grid_suite(algorithm)
-    report = GridSweepReport(algorithm=algorithm.name)
-    for m, n in sizes:
-        if not algorithm.supports_grid(m, n):
-            continue
-        report.reports.append(
-            verify_terminating_exploration(algorithm, m, n, model=model, seed=seed, tie_break=tie_break)
-        )
-    return report
+    tasks = grid_sweep_tasks(algorithm, sizes=sizes, model=model, seed=seed, tie_break=tie_break)
+    return GridSweepReport(algorithm=algorithm.name, reports=execute_tasks(algorithm, tasks))
 
 
 def stress_test(
@@ -210,19 +83,8 @@ def stress_test(
     tie_break: str = TieBreak.FIRST,
 ) -> GridSweepReport:
     """Randomized-scheduler campaign for the SSYNC/ASYNC algorithms."""
-    sizes = list(sizes) if sizes is not None else default_grid_suite(algorithm, max_side=7)
-    report = GridSweepReport(algorithm=algorithm.name)
-    for m, n in sizes:
-        if not algorithm.supports_grid(m, n):
-            continue
-        for model in models:
-            for seed in seeds:
-                report.reports.append(
-                    verify_terminating_exploration(
-                        algorithm, m, n, model=model, seed=seed, tie_break=tie_break
-                    )
-                )
-    return report
+    tasks = stress_test_tasks(algorithm, sizes=sizes, models=models, seeds=seeds, tie_break=tie_break)
+    return GridSweepReport(algorithm=algorithm.name, reports=execute_tasks(algorithm, tasks))
 
 
 def verify_algorithm(
