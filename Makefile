@@ -1,8 +1,12 @@
 # Convenience targets for the repro library.
 #
-#   make verify  - tier-1 test suite plus a quick engine benchmark smoke
+#   make verify  - tier-1 test suite plus the smoke-benchmark guard
+#                  (fails if the 3x3 FSYNC check regresses >3x against
+#                  the BENCH_engine.json baseline)
 #   make test    - tier-1 test suite only
-#   make bench   - full old-vs-new engine throughput benchmark
+#   make bench   - full engine benchmark; rewrites BENCH_engine.json
+#                  (seed-vs-engine, cold-vs-cached-vs-sharded, cross-size
+#                  cache reuse)
 
 PYTHON ?= python
 export PYTHONPATH := src

@@ -1,36 +1,68 @@
-"""Benchmark: seed checker vs the unified engine kernel (state throughput).
+"""Benchmark: engine exploration throughput, caches and sharding.
 
-Compares three ways of exhaustively exploring the scheduler state space:
+Tracks the perf trajectory of the exhaustive checker across PRs in a
+machine-readable ledger, ``BENCH_engine.json`` at the repo root:
 
-* **seed** — a faithful copy of the pre-engine model checker (one ad-hoc
-  successor generator materialising a ``World`` per expansion, no
-  memoization), kept here as the reference baseline;
-* **engine (cold)** — the public :func:`repro.checking.explore_state_space`,
-  building a fresh transition system per check;
-* **engine (kernel reuse)** — one
-  :class:`repro.engine.AlgorithmTransitionSystem` shared across repeated
-  checks, the way the campaign engine and the refuter use it.
+* **seed vs engine** (PR 1 trajectory) — a faithful copy of the pre-engine
+  model checker (one ad-hoc successor generator materialising a ``World``
+  per expansion, no memoization) against the unified kernel, on the 3x3
+  suites;
+* **4x4 FSYNC exhaustive check** (PR 2 trajectory) — the cold public path
+  (fresh transition system and matcher per check) against the persistent
+  :class:`~repro.engine.matcher.MatcherCache` fast path and against the
+  sharded explorer with ``workers=4``;
+* **cross-size cache reuse** — hit rates of one shared cache swept across
+  a family of grid sizes (the matcher's keys are grid-size independent).
 
-Run directly (``python benchmarks/bench_engine.py``, with ``--smoke`` for a
-quick pass); it prints a table of state throughputs and fails loudly if the
-engine does not beat the seed checker by at least 2x on the 3x3 FSYNC
-check.
+Run directly:
+
+* ``python benchmarks/bench_engine.py`` — full pass; prints the tables,
+  rewrites ``BENCH_engine.json``, and fails loudly unless the engine beats
+  the seed checker by >= 2x on 3x3 FSYNC *and* the cache fast path beats
+  the cold path by >= 2x on the 4x4 FSYNC exhaustive check;
+* ``python benchmarks/bench_engine.py --smoke`` — quick pass wired into
+  ``make verify``: re-measures the 3x3 FSYNC check and fails if it has
+  regressed more than 3x against the recorded ``BENCH_engine.json``
+  baseline (nothing is rewritten).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import platform
 import sys
 import time
 from itertools import combinations, product
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms import get
-from repro.checking import explore_state_space
+from repro.checking import check_terminating_exploration, explore_state_space
 from repro.core import Grid
 from repro.core.algorithm import Algorithm
-from repro.engine import AlgorithmTransitionSystem, SchedulerState, explore, initial_state
+from repro.engine import (
+    AlgorithmTransitionSystem,
+    MatcherCache,
+    SchedulerState,
+    explore,
+    explore_sharded,
+    initial_state,
+)
 from repro.engine.states import AsyncRobotState, world_from_state
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: The case the ``--smoke`` regression guard is keyed on.
+SMOKE_CASE = "fsync_phi2_l2_chir_k2 3x3 [FSYNC] kernel"
+#: ``make verify`` fails when the smoke case is more than this factor slower
+#: than the recorded baseline.
+SMOKE_REGRESSION_FACTOR = 3.0
+#: The same-machine reference the smoke guard normalizes by: the seed
+#: checker runs the identical workload, so the *ratio* kernel/seed is
+#: comparable across machines while absolute states/s are not.
+SMOKE_REFERENCE_CASE = "fsync_phi2_l2_chir_k2 3x3 [FSYNC] seed"
 
 
 # ---------------------------------------------------------------------------
@@ -106,75 +138,307 @@ def seed_explore(algorithm: Algorithm, grid: Grid, model: str) -> Dict[Scheduler
 # ---------------------------------------------------------------------------
 # Measurement harness
 # ---------------------------------------------------------------------------
-def _throughput(run, repetitions: int) -> Tuple[float, int]:
-    """(states per second, states per run) over ``repetitions`` full checks."""
+def _measure(run, repetitions: int) -> Tuple[float, int]:
+    """(seconds per run, states per run) over ``repetitions`` full checks."""
     states = run()  # warm-up, also yields the per-run state count
     start = time.perf_counter()
     for _ in range(repetitions):
         run()
     elapsed = time.perf_counter() - start
-    return (states * repetitions) / elapsed, states
+    return elapsed / repetitions, states
 
 
-def bench_case(name: str, model: str, repetitions: int) -> dict:
+def _case(
+    name: str,
+    wall_s: float,
+    states: int,
+    *,
+    cache_hit_rate: Optional[float] = None,
+    workers: Optional[int] = None,
+) -> dict:
+    row = {
+        "case": name,
+        "states": states,
+        "wall_s": wall_s,
+        "states_per_s": states / wall_s if wall_s else float("inf"),
+    }
+    if cache_hit_rate is not None:
+        row["cache_hit_rate"] = cache_hit_rate
+    if workers is not None:
+        row["workers"] = workers
+    return row
+
+
+# ---------------------------------------------------------------------------
+# Benchmark sections
+# ---------------------------------------------------------------------------
+def bench_seed_vs_engine(name: str, model: str, repetitions: int) -> List[dict]:
+    """The PR-1 trajectory: seed checker vs cold engine vs reused kernel (3x3)."""
     algorithm = get(name)
     grid = Grid(3, 3)
+    label = f"{name} 3x3 [{model}]"
 
-    def run_seed():
-        return len(seed_explore(algorithm, grid, model))
-
-    def run_engine_cold():
-        return len(explore_state_space(algorithm, grid, model=model))
-
+    seed_s, states = _measure(lambda: len(seed_explore(algorithm, grid, model)), repetitions)
+    cold_s, _ = _measure(lambda: len(explore_state_space(algorithm, grid, model=model)), repetitions)
     kernel = AlgorithmTransitionSystem(algorithm, grid, model)
+    kernel_s, _ = _measure(lambda: explore(kernel).num_states, repetitions)
+    return [
+        _case(f"{label} seed", seed_s, states),
+        _case(f"{label} cold", cold_s, states),
+        _case(f"{label} kernel", kernel_s, states),
+    ]
 
-    def run_engine_kernel():
-        return explore(kernel).num_states
 
-    seed_rate, states = _throughput(run_seed, repetitions)
-    cold_rate, _ = _throughput(run_engine_cold, repetitions)
-    kernel_rate, _ = _throughput(run_engine_kernel, repetitions)
-    return {
-        "case": f"{name} 3x3 [{model}]",
-        "states": states,
-        "seed": seed_rate,
-        "cold": cold_rate,
-        "kernel": kernel_rate,
+def bench_fsync_4x4(repetitions: int, workers: int) -> List[dict]:
+    """The PR-2 trajectory: the 4x4 FSYNC exhaustive check, three ways.
+
+    *cold* rebuilds the transition system and matcher per check (the public
+    default), *cached* threads one persistent :class:`MatcherCache` through
+    repeated checks (the campaign/sweep fast path), *sharded* fans the
+    frontier over a ``workers``-process pool.
+    """
+    algorithm = get("fsync_phi2_l2_chir_k2")
+    grid = Grid(4, 4)
+    label = "fsync_phi2_l2_chir_k2 4x4 [FSYNC]"
+
+    cold_s, states = _measure(
+        lambda: check_terminating_exploration(algorithm, grid, model="FSYNC").states_explored,
+        repetitions,
+    )
+
+    cache = MatcherCache()
+
+    def cached_check() -> int:
+        return check_terminating_exploration(
+            algorithm, grid, model="FSYNC", cache=cache
+        ).states_explored
+
+    cached_s, _ = _measure(cached_check, repetitions)
+    hit_rate = cache.stats.hit_rate
+
+    # One sharded pass (pool startup dominates repetition timing; a single
+    # timed run is how the checker is actually invoked).
+    start = time.perf_counter()
+    sharded_states = explore_sharded(algorithm, grid, "FSYNC", workers=workers).num_states
+    sharded_s = time.perf_counter() - start
+    assert sharded_states == states, "sharded explorer diverged from the serial check"
+
+    return [
+        _case(f"{label} cold", cold_s, states),
+        _case(f"{label} cached", cached_s, states, cache_hit_rate=hit_rate),
+        _case(f"{label} sharded", sharded_s, states, workers=workers),
+    ]
+
+
+def bench_cross_size_cache() -> Tuple[List[dict], float]:
+    """Hit rates of one shared cache swept across grid sizes.
+
+    Returns the per-size rows plus the hit rate observed on the *last* size
+    — reached with a cache warmed purely on other sizes, so any nonzero
+    value demonstrates cross-size reuse.
+    """
+    algorithm = get("fsync_phi2_l2_chir_k2")
+    sizes = [(3, 3), (3, 4), (4, 3), (3, 5), (4, 4), (4, 5), (5, 5)]
+    cache = MatcherCache()
+    rows: List[dict] = []
+    final_rate = 0.0
+    for m, n in sizes:
+        grid = Grid(m, n)
+        before = cache.stats.snapshot()
+        start = time.perf_counter()
+        result = check_terminating_exploration(algorithm, grid, model="FSYNC", cache=cache)
+        wall = time.perf_counter() - start
+        delta = cache.stats.delta_since(before)
+        rows.append(
+            _case(
+                f"cross-size sweep {m}x{n} [FSYNC]",
+                wall,
+                result.states_explored,
+                cache_hit_rate=delta.hit_rate,
+            )
+        )
+        final_rate = delta.hit_rate
+    return rows, final_rate
+
+
+def bench_sharded_wide(workers: int) -> List[dict]:
+    """Serial vs sharded on the widest shared workload (8x8 SSYNC, k=3)."""
+    algorithm = get("fsync_phi2_l2_nochir_k3")
+    grid = Grid(8, 8)
+    label = "fsync_phi2_l2_nochir_k3 8x8 [SSYNC]"
+
+    start = time.perf_counter()
+    serial = explore(AlgorithmTransitionSystem(algorithm, grid, "SSYNC")).num_states
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = explore_sharded(algorithm, grid, "SSYNC", workers=workers).num_states
+    sharded_s = time.perf_counter() - start
+    assert sharded == serial
+
+    return [
+        _case(f"{label} serial", serial_s, serial),
+        _case(f"{label} sharded", sharded_s, sharded, workers=workers),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+def _by_case(rows: List[dict]) -> Dict[str, dict]:
+    return {row["case"]: row for row in rows}
+
+
+def _print_table(rows: List[dict]) -> None:
+    header = f"{'case':52s} {'states':>7s} {'wall ms':>9s} {'states/s':>10s} {'cache':>6s}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cache = f"{row['cache_hit_rate']:.0%}" if "cache_hit_rate" in row else "-"
+        print(
+            f"{row['case']:52s} {row['states']:7d} {row['wall_s'] * 1e3:9.2f}"
+            f" {row['states_per_s']:10.0f} {cache:>6s}"
+        )
+
+
+def run_full(repetitions: int, workers: int, output: Path) -> int:
+    rows: List[dict] = []
+    rows += bench_seed_vs_engine("fsync_phi2_l2_chir_k2", "FSYNC", repetitions)
+    rows += bench_seed_vs_engine("fsync_phi2_l2_chir_k2", "SSYNC", repetitions)
+    rows += bench_seed_vs_engine("fsync_phi1_l2_chir_k3", "SSYNC", repetitions)
+    rows += bench_fsync_4x4(repetitions, workers)
+    cross_rows, cross_rate = bench_cross_size_cache()
+    rows += cross_rows
+    rows += bench_sharded_wide(workers)
+
+    by_case = _by_case(rows)
+    engine_x = (
+        by_case["fsync_phi2_l2_chir_k2 3x3 [FSYNC] seed"]["wall_s"]
+        / by_case["fsync_phi2_l2_chir_k2 3x3 [FSYNC] kernel"]["wall_s"]
+    )
+    fsync44_x = (
+        by_case["fsync_phi2_l2_chir_k2 4x4 [FSYNC] cold"]["wall_s"]
+        / by_case["fsync_phi2_l2_chir_k2 4x4 [FSYNC] cached"]["wall_s"]
+    )
+    sharded_x = (
+        by_case["fsync_phi2_l2_nochir_k3 8x8 [SSYNC] serial"]["wall_s"]
+        / by_case["fsync_phi2_l2_nochir_k3 8x8 [SSYNC] sharded"]["wall_s"]
+    )
+
+    _print_table(rows)
+    print(f"\n3x3 FSYNC: engine kernel is {engine_x:.2f}x the seed checker")
+    print(f"4x4 FSYNC exhaustive check: persistent-cache fast path is {fsync44_x:.2f}x the cold path")
+    print(
+        f"8x8 SSYNC: sharded (workers={workers}) is {sharded_x:.2f}x serial"
+        f" on {os.cpu_count()} CPU core(s)"
+    )
+    print(f"cross-size matcher-cache hit rate on the final sweep size: {cross_rate:.0%}")
+
+    ok = True
+    if engine_x < 2.0:
+        print("FAIL: expected >= 2x engine-vs-seed improvement on 3x3 FSYNC", file=sys.stderr)
+        ok = False
+    if fsync44_x < 2.0:
+        print(
+            "FAIL: expected >= 2x cached-vs-cold improvement on the 4x4 FSYNC exhaustive check",
+            file=sys.stderr,
+        )
+        ok = False
+    if cross_rate <= 0.0:
+        print("FAIL: expected a nonzero cross-size matcher-cache hit rate", file=sys.stderr)
+        ok = False
+    if not ok:
+        # Leave the previously recorded baseline in place: a failing run
+        # must never become the yardstick future smoke passes are held to.
+        print(f"not updating {output} (gates failed)", file=sys.stderr)
+        return 1
+
+    payload = {
+        "schema": 2,
+        "generated_unix": int(time.time()),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "workers": workers,
+        "repetitions": repetitions,
+        "cases": rows,
+        "headline": {
+            "engine_vs_seed_3x3_fsync": engine_x,
+            "fsync_4x4_exhaustive_speedup": fsync44_x,
+            "sharded_vs_serial_8x8_ssync": sharded_x,
+            "cross_size_cache_hit_rate": cross_rate,
+        },
+        # The guard compares the machine-independent *ratio* of the kernel
+        # to the same-machine seed reference, not absolute states/s.
+        "smoke_guard": {
+            "case": SMOKE_CASE,
+            "reference_case": SMOKE_REFERENCE_CASE,
+            "kernel_vs_seed": engine_x,
+            "states_per_s": by_case[SMOKE_CASE]["states_per_s"],
+            "max_regression_factor": SMOKE_REGRESSION_FACTOR,
+        },
     }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    print("OK: all benchmark gates passed")
+    return 0
+
+
+def run_smoke(repetitions: int, baseline_path: Path) -> int:
+    """The ``make verify`` guard: fail on a >3x 3x3 FSYNC regression.
+
+    Both the kernel case and the seed reference are re-measured on the
+    *current* machine and compared as a ratio against the recorded ratio,
+    so the guard tracks code regressions rather than hardware differences.
+    """
+    algorithm = get("fsync_phi2_l2_chir_k2")
+    grid = Grid(3, 3)
+    seed_s, states = _measure(lambda: len(seed_explore(algorithm, grid, "FSYNC")), repetitions)
+    kernel = AlgorithmTransitionSystem(algorithm, grid, "FSYNC")
+    kernel_s, _ = _measure(lambda: explore(kernel).num_states, repetitions)
+    current_ratio = seed_s / kernel_s
+    print(
+        f"smoke: {SMOKE_CASE}: {states / kernel_s:.0f} states/s,"
+        f" {current_ratio:.1f}x the seed reference ({states} states)"
+    )
+
+    if not baseline_path.exists():
+        print(f"smoke: no baseline at {baseline_path}; run `make bench` to record one")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    guard = baseline.get("smoke_guard", {})
+    recorded_ratio = guard.get("kernel_vs_seed")
+    if not recorded_ratio:
+        print("smoke: baseline has no kernel_vs_seed entry; run `make bench` to refresh it")
+        return 0
+    factor = guard.get("max_regression_factor", SMOKE_REGRESSION_FACTOR)
+    floor = recorded_ratio / factor
+    print(f"smoke: baseline ratio {recorded_ratio:.1f}x, regression floor {floor:.1f}x")
+    if current_ratio < floor:
+        print(
+            f"FAIL: 3x3 FSYNC check regressed more than {factor:.0f}x against the"
+            f" recorded baseline ({current_ratio:.1f}x < {floor:.1f}x vs seed)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: within the regression budget")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true", help="quick pass (fewer repetitions)")
+    parser.add_argument("--smoke", action="store_true", help="quick regression guard only")
     parser.add_argument("--repetitions", type=int, default=None, help="explicit repetition count")
+    parser.add_argument("--workers", type=int, default=4, help="shard count for the sharded cases")
+    parser.add_argument(
+        "--output", type=Path, default=BENCH_PATH, help="where to write BENCH_engine.json"
+    )
     args = parser.parse_args(argv)
-    repetitions = args.repetitions if args.repetitions is not None else (20 if args.smoke else 150)
 
-    rows = [
-        bench_case("fsync_phi2_l2_chir_k2", "FSYNC", repetitions),
-        bench_case("fsync_phi2_l2_chir_k2", "SSYNC", repetitions),
-        bench_case("fsync_phi1_l2_chir_k3", "SSYNC", repetitions),
-    ]
-
-    header = f"{'case':38s} {'states':>6s} {'seed st/s':>10s} {'cold st/s':>10s} {'kernel st/s':>11s} {'cold x':>7s} {'kernel x':>8s}"
-    print(header)
-    print("-" * len(header))
-    for row in rows:
-        cold_x = row["cold"] / row["seed"]
-        kernel_x = row["kernel"] / row["seed"]
-        print(
-            f"{row['case']:38s} {row['states']:6d} {row['seed']:10.0f} {row['cold']:10.0f}"
-            f" {row['kernel']:11.0f} {cold_x:6.2f}x {kernel_x:7.2f}x"
-        )
-
-    fsync = rows[0]
-    speedup = max(fsync["cold"], fsync["kernel"]) / fsync["seed"]
-    print(f"\n3x3 FSYNC check: engine is {speedup:.2f}x the seed checker's state throughput")
-    if speedup < 2.0:
-        print("FAIL: expected at least a 2x state-throughput improvement", file=sys.stderr)
-        return 1
-    print("OK: >= 2x state-throughput improvement")
-    return 0
+    if args.smoke:
+        repetitions = args.repetitions if args.repetitions is not None else 20
+        return run_smoke(repetitions, args.output)
+    repetitions = args.repetitions if args.repetitions is not None else 100
+    return run_full(repetitions, args.workers, args.output)
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..core.algorithm import Algorithm
 from ..core.grid import Grid
+from ..engine.matcher import MatcherCache
 from ..engine.suites import scaling_suite
 from ..engine.walk import TieBreak, run_fsync
 
@@ -33,18 +34,27 @@ class ScalingPoint:
 def round_complexity_sweep(
     algorithm: Algorithm,
     sizes: Optional[Iterable[Tuple[int, int]]] = None,
+    cache: Optional[MatcherCache] = None,
 ) -> List[ScalingPoint]:
     """Measure FSYNC rounds and moves over a family of grid sizes.
 
     The default size family is the shared :func:`repro.engine.suites.scaling_suite`.
+    One :class:`~repro.engine.matcher.MatcherCache` (freshly created unless
+    supplied) spans the whole sweep: the matcher's keys are grid-size
+    independent, so every size after the first replays the interior
+    patterns from the cache instead of re-evaluating the guards.
     """
     if sizes is None:
         sizes = scaling_suite(algorithm)
+    cache = cache if cache is not None else MatcherCache()
     points = []
     for m, n in sizes:
         if not algorithm.supports_grid(m, n):
             continue
-        result = run_fsync(algorithm, Grid(m, n), tie_break=TieBreak.FIRST)
+        grid = Grid(m, n)
+        result = run_fsync(
+            algorithm, grid, tie_break=TieBreak.FIRST, matcher=cache.matcher_for(algorithm, grid)
+        )
         points.append(
             ScalingPoint(m=m, n=n, nodes=m * n, steps=result.steps, moves=result.total_moves)
         )

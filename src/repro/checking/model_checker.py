@@ -37,12 +37,14 @@ algorithms (Table 1, SSYNC/ASYNC rows) on small grids.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.algorithm import Algorithm
 from ..core.grid import Grid
-from ..engine.explorer import explore, guaranteed_nodes, has_cycle
+from ..engine.explorer import Exploration, explore, guaranteed_nodes, has_cycle
+from ..engine.matcher import MatcherCache
+from ..engine.sharded import explore_sharded
 from ..engine.states import SchedulerState
 from ..engine.transition import AlgorithmTransitionSystem
 
@@ -64,6 +66,12 @@ class CheckResult:
     counterexample: Optional[str] = None
     #: Whether the counts above refer to the symmetry-reduced quotient.
     symmetry_reduction: bool = False
+    #: Matcher-cache counters accumulated by this check (``hits`` /
+    #: ``misses`` / ``hit_rate``); ``None`` for results built by hand.
+    #: Excluded from equality: the counters depend on how warm the matcher
+    #: happened to be, and results are promised identical across the
+    #: serial/sharded/cached execution modes.
+    matcher_stats: Optional[Dict[str, float]] = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -73,9 +81,12 @@ class CheckResult:
     def summary(self) -> str:
         status = "terminating exploration holds" if self.ok else f"FAILS ({self.counterexample})"
         reduced = ", symmetry-reduced" if self.symmetry_reduction else ""
+        cache = ""
+        if self.matcher_stats is not None:
+            cache = f", match cache {self.matcher_stats['hit_rate']:.0%} hits"
         return (
             f"{self.algorithm} on {self.m}x{self.n} [{self.model}]: {status}"
-            f" ({self.states_explored} states, {self.terminal_states} terminal{reduced})"
+            f" ({self.states_explored} states, {self.terminal_states} terminal{reduced}{cache})"
         )
 
 
@@ -90,6 +101,41 @@ def successors(algorithm: Algorithm, grid: Grid, state: SchedulerState, model: s
     return AlgorithmTransitionSystem(algorithm, grid, model).successors(state)
 
 
+def _explore(
+    algorithm: Algorithm,
+    grid: Grid,
+    model: str,
+    *,
+    max_states: int,
+    start: Optional[SchedulerState] = None,
+    symmetry_reduction: bool,
+    workers: Optional[int],
+    cache: Optional[MatcherCache],
+) -> Exploration:
+    """Route one exploration through the sharded or the serial explorer.
+
+    ``workers > 1`` fans the frontier over a process pool (see
+    :mod:`repro.engine.sharded`); otherwise the exploration runs serially,
+    optionally on a matcher backed by a shared :class:`MatcherCache` so
+    repeated checks of the same algorithm — at any grid size — start warm.
+    """
+    if model not in ("FSYNC", "SSYNC", "ASYNC"):
+        raise ValueError(f"unknown model {model!r}")
+    if workers is not None and workers > 1:
+        return explore_sharded(
+            algorithm,
+            grid,
+            model,
+            workers=workers,
+            symmetry_reduction=symmetry_reduction,
+            max_states=max_states,
+            start=start,
+        )
+    matcher = cache.matcher_for(algorithm, grid) if cache is not None else None
+    ts = AlgorithmTransitionSystem(algorithm, grid, model, matcher=matcher)
+    return explore(ts, symmetry_reduction=symmetry_reduction, max_states=max_states, start=start)
+
+
 def explore_state_space(
     algorithm: Algorithm,
     grid: Grid,
@@ -97,18 +143,28 @@ def explore_state_space(
     max_states: int = 200_000,
     start: Optional[SchedulerState] = None,
     symmetry_reduction: bool = False,
+    workers: Optional[int] = None,
+    cache: Optional[MatcherCache] = None,
 ) -> Dict[SchedulerState, List[SchedulerState]]:
     """Build the successor graph of all reachable scheduler states.
 
     With ``symmetry_reduction=True`` the returned graph is the quotient by
     grid symmetry: states are orbit representatives, and a representative's
     successor list contains the representatives of its raw successors.
+
+    ``workers > 1`` shards the frontier across a process pool; ``cache``
+    reuses snapshot/match memo tables across repeated (serial) checks.
+    Both leave the result unchanged.
     """
-    if model not in ("FSYNC", "SSYNC", "ASYNC"):
-        raise ValueError(f"unknown model {model!r}")
-    ts = AlgorithmTransitionSystem(algorithm, grid, model)
-    exploration = explore(
-        ts, symmetry_reduction=symmetry_reduction, max_states=max_states, start=start
+    exploration = _explore(
+        algorithm,
+        grid,
+        model,
+        max_states=max_states,
+        start=start,
+        symmetry_reduction=symmetry_reduction,
+        workers=workers,
+        cache=cache,
     )
     return exploration.graph()
 
@@ -119,10 +175,19 @@ def enumerate_reachable(
     model: str = "SSYNC",
     max_states: int = 200_000,
     symmetry_reduction: bool = False,
+    workers: Optional[int] = None,
+    cache: Optional[MatcherCache] = None,
 ) -> int:
     """Number of reachable canonical states (convenience wrapper)."""
-    ts = AlgorithmTransitionSystem(algorithm, grid, model)
-    return explore(ts, symmetry_reduction=symmetry_reduction, max_states=max_states).num_states
+    return _explore(
+        algorithm,
+        grid,
+        model,
+        max_states=max_states,
+        symmetry_reduction=symmetry_reduction,
+        workers=workers,
+        cache=cache,
+    ).num_states
 
 
 def check_terminating_exploration(
@@ -131,16 +196,28 @@ def check_terminating_exploration(
     model: str = "SSYNC",
     max_states: int = 200_000,
     symmetry_reduction: bool = False,
+    workers: Optional[int] = None,
+    cache: Optional[MatcherCache] = None,
 ) -> CheckResult:
     """Exhaustively decide Definition 1 over all scheduler behaviours.
 
     The verdict is identical with and without ``symmetry_reduction``; the
     reduced run only explores fewer states (a quotient cycle lifts to an
     infinite raw execution and vice versa, and coverage sets are mapped
-    exactly through the collapsing symmetries).
+    exactly through the collapsing symmetries).  It is likewise identical
+    with and without ``workers`` (sharded exploration merges into the
+    serial graph exactly) and with and without ``cache`` (memoization only
+    skips recomputation).
     """
-    ts = AlgorithmTransitionSystem(algorithm, grid, model)
-    exploration = explore(ts, symmetry_reduction=symmetry_reduction, max_states=max_states)
+    exploration = _explore(
+        algorithm,
+        grid,
+        model,
+        max_states=max_states,
+        symmetry_reduction=symmetry_reduction,
+        workers=workers,
+        cache=cache,
+    )
     terminal_states = len(exploration.terminal_indices())
 
     if has_cycle(exploration.succ):
@@ -155,6 +232,7 @@ def check_terminating_exploration(
             explores=False,
             counterexample="a scheduler can drive the system into an infinite execution (cycle reached)",
             symmetry_reduction=exploration.reduced,
+            matcher_stats=exploration.matcher_stats,
         )
 
     all_nodes = frozenset(grid.nodes())
@@ -181,4 +259,5 @@ def check_terminating_exploration(
         explores=explores,
         counterexample=counterexample,
         symmetry_reduction=exploration.reduced,
+        matcher_stats=exploration.matcher_stats,
     )

@@ -11,6 +11,8 @@ paper are implemented; every other layer consumes it:
   for chirality-free algorithms, reflections);
 * :mod:`repro.engine.explorer` — frontier search, interning, cycle and
   coverage analyses (the model checker's substrate);
+* :mod:`repro.engine.sharded` — hash-partitioned parallel exploration over
+  a process pool, merge-identical to the serial explorer;
 * :mod:`repro.engine.walk` — the lazy single-path simulator;
 * :mod:`repro.engine.suites` — shared grid-size suites;
 * :mod:`repro.engine.campaign` — batched serial/parallel campaign runner.
@@ -31,7 +33,8 @@ from .campaign import (
     verify_one,
 )
 from .explorer import Exploration, explore, guaranteed_nodes, has_cycle, topological_order
-from .matcher import LocalMatcher
+from .matcher import LocalMatcher, MatcherCache, MatcherStats
+from .sharded import default_workers, explore_sharded
 from .states import (
     AsyncRobotState,
     FrozenSnapshot,
@@ -57,6 +60,8 @@ __all__ = [
     "thaw_snapshot",
     # matcher / transition
     "LocalMatcher",
+    "MatcherCache",
+    "MatcherStats",
     "MODELS",
     "TransitionSystem",
     "AlgorithmTransitionSystem",
@@ -68,6 +73,8 @@ __all__ = [
     # explorer
     "Exploration",
     "explore",
+    "explore_sharded",
+    "default_workers",
     "has_cycle",
     "topological_order",
     "guaranteed_nodes",

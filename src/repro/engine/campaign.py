@@ -29,6 +29,7 @@ from ..core.algorithm import Algorithm
 from ..core.errors import VerificationError
 from ..core.execution import ExecutionResult
 from ..core.grid import Grid
+from .matcher import LocalMatcher, MatcherCache
 from .suites import default_grid_suite
 from .walk import TieBreak, run_async, run_fsync, run_ssync
 
@@ -62,11 +63,26 @@ class VerificationReport:
     steps: int
     moves: int
     reason: str
+    #: Matcher-cache counters observed *during this run*.  Excluded from
+    #: equality (``compare=False``): the numbers depend on how warm the
+    #: run's matcher happened to be — a serial campaign shares one cache
+    #: across the whole task list while each pool worker warms its own —
+    #: and must not break the serial-vs-parallel report parity guarantee.
+    cache_hits: Optional[int] = field(default=None, compare=False)
+    cache_misses: Optional[int] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         status = "ok" if self.ok else f"FAILED ({self.reason})"
         seed = "" if self.seed is None else f", seed={self.seed}"
         return f"{self.algorithm} {self.m}x{self.n} [{self.model}{seed}]: {status}"
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        """Fraction of this run's matcher lookups served from the cache."""
+        if self.cache_hits is None or self.cache_misses is None:
+            return None
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
 
 @dataclass
@@ -94,9 +110,14 @@ class GridSweepReport:
         return self
 
     def summary(self) -> str:
+        cache = ""
+        hits = sum(report.cache_hits or 0 for report in self.reports)
+        misses = sum(report.cache_misses or 0 for report in self.reports)
+        if hits + misses:
+            cache = f" (match cache: {hits / (hits + misses):.0%} hits over {hits + misses} lookups)"
         return (
             f"{self.algorithm}: {len(self.reports) - len(self.failures)}/{len(self.reports)}"
-            " verification runs succeeded"
+            f" verification runs succeeded{cache}"
         )
 
 
@@ -110,17 +131,22 @@ def _execute(
     seed: Optional[int],
     tie_break: str,
     max_steps: Optional[int],
+    matcher: Optional[LocalMatcher] = None,
 ) -> ExecutionResult:
     if model == "FSYNC":
-        return run_fsync(algorithm, grid, tie_break=tie_break, max_steps=max_steps)
+        return run_fsync(algorithm, grid, tie_break=tie_break, max_steps=max_steps, matcher=matcher)
     # Pass the seed through run_* (which builds the default RandomSubset /
     # RandomAsync scheduler from it) instead of constructing the scheduler
     # here, so the seed recorded on the ExecutionResult is the one that
     # actually drove the run and replays it exactly.
     if model == "SSYNC":
-        return run_ssync(algorithm, grid, seed=seed or 0, tie_break=tie_break, max_steps=max_steps)
+        return run_ssync(
+            algorithm, grid, seed=seed or 0, tie_break=tie_break, max_steps=max_steps, matcher=matcher
+        )
     if model == "ASYNC":
-        return run_async(algorithm, grid, seed=seed or 0, tie_break=tie_break, max_steps=max_steps)
+        return run_async(
+            algorithm, grid, seed=seed or 0, tie_break=tie_break, max_steps=max_steps, matcher=matcher
+        )
     raise VerificationError(f"unknown model {model!r}")
 
 
@@ -132,11 +158,19 @@ def verify_one(
     seed: Optional[int] = None,
     tie_break: str = TieBreak.ERROR,
     max_steps: Optional[int] = None,
+    cache: Optional[MatcherCache] = None,
 ) -> VerificationReport:
-    """Check Definition 1 on one bounded execution."""
+    """Check Definition 1 on one bounded execution.
+
+    ``cache`` (a :class:`~repro.engine.matcher.MatcherCache`) lets repeated
+    calls share snapshot/match memo tables — across seeds, models *and*
+    grid sizes; the run's own hit/miss delta is recorded on the report.
+    """
     grid = Grid(m, n)
+    matcher = cache.matcher_for(algorithm, grid) if cache is not None else None
+    stats_before = matcher.stats.snapshot() if matcher is not None else None
     try:
-        result = _execute(algorithm, grid, model, seed, tie_break, max_steps)
+        result = _execute(algorithm, grid, model, seed, tie_break, max_steps, matcher=matcher)
     except Exception as exc:  # noqa: BLE001 - reported, not swallowed
         return VerificationReport(
             algorithm=algorithm.name,
@@ -155,6 +189,7 @@ def verify_one(
         reason = f"did not terminate within {result.steps} steps"
     elif not result.explored:
         reason = f"terminated with {len(result.unvisited)} unvisited nodes"
+    delta = matcher.stats.delta_since(stats_before) if matcher is not None else None
     return VerificationReport(
         algorithm=algorithm.name,
         model=model,
@@ -165,6 +200,8 @@ def verify_one(
         steps=result.steps,
         moves=result.total_moves,
         reason=reason,
+        cache_hits=delta.hits if delta is not None else None,
+        cache_misses=delta.misses if delta is not None else None,
     )
 
 
@@ -188,11 +225,19 @@ class CampaignTask:
     max_steps: Optional[int] = None
 
 
+#: Process-level matcher cache for the worker entry point: a pool worker
+#: executes many tasks over its lifetime, and the translation-invariant
+#: memo tables are valid across every task of the same algorithm — at any
+#: grid size — so the cache persists for the life of the worker process.
+_RUN_TASK_CACHE = MatcherCache()
+
+
 def run_task(task: CampaignTask) -> VerificationReport:
     """Execute one task, resolving its algorithm through the registry.
 
     This is the worker entry point of the parallel engine; it must stay a
-    module-level function so ``multiprocessing`` can pickle it.
+    module-level function so ``multiprocessing`` can pickle it.  Matching
+    runs against the process-persistent :data:`_RUN_TASK_CACHE`.
     """
     from ..algorithms import registry  # local import: avoids a layering cycle
 
@@ -204,16 +249,25 @@ def run_task(task: CampaignTask) -> VerificationReport:
         seed=task.seed,
         tie_break=task.tie_break,
         max_steps=task.max_steps,
+        cache=_RUN_TASK_CACHE,
     )
 
 
-def execute_tasks(algorithm: Algorithm, tasks: Iterable[CampaignTask]) -> List[VerificationReport]:
+def execute_tasks(
+    algorithm: Algorithm,
+    tasks: Iterable[CampaignTask],
+    cache: Optional[MatcherCache] = None,
+) -> List[VerificationReport]:
     """Run tasks serially against an in-hand algorithm object.
 
     Unlike :func:`run_task` this works for algorithms that are not in the
     registry (ad-hoc/test algorithms); the results are identical to the
     parallel path for registered ones because both call :func:`verify_one`.
+    One :class:`MatcherCache` (``cache``, freshly created by default) is
+    shared across the whole task list, so every task after the first starts
+    warm on the patterns already seen — including at other grid sizes.
     """
+    cache = cache if cache is not None else MatcherCache()
     return [
         verify_one(
             algorithm,
@@ -223,6 +277,7 @@ def execute_tasks(algorithm: Algorithm, tasks: Iterable[CampaignTask]) -> List[V
             seed=task.seed,
             tie_break=task.tie_break,
             max_steps=task.max_steps,
+            cache=cache,
         )
         for task in tasks
     ]

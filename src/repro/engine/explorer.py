@@ -52,6 +52,12 @@ class Exploration:
     #: Symmetry mapping the canonical root back to the raw initial state
     #: (``None`` for the identity or when not reduced).
     root_sym: Optional[GridSymmetry] = field(default=None)
+    #: Matcher cache counters accumulated *during this exploration* —
+    #: ``{"hits", "misses", "hit_rate"}`` — observability for the
+    #: snapshot/match memo layer (aggregated across workers when the
+    #: exploration was sharded).  ``None`` when the transition system does
+    #: not expose a matcher.
+    matcher_stats: Optional[Dict[str, float]] = field(default=None)
 
     @property
     def num_states(self) -> int:
@@ -81,6 +87,9 @@ def explore(
     """
     symmetries = grid_symmetries(ts.grid, ts.algorithm.chirality) if symmetry_reduction else ()
     reduce = symmetry_reduction and len(symmetries) > 1
+
+    matcher = getattr(ts, "matcher", None)
+    stats_before = matcher.stats.snapshot() if matcher is not None else None
 
     root_raw = start if start is not None else ts.initial()
     root_sym: Optional[GridSymmetry] = None
@@ -142,6 +151,9 @@ def explore(
         edge_syms=edge_syms,
         root=0,
         root_sym=root_sym,
+        matcher_stats=(
+            matcher.stats.delta_since(stats_before).as_dict() if matcher is not None else None
+        ),
     )
 
 

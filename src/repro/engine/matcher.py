@@ -19,20 +19,24 @@ does hit the cache at every interior column:
 * ``(color, frozen snapshot) -> matches``  (re-evaluation of stored ASYNC
   snapshots during Compute).
 
-One matcher is created per run/exploration and shared between all robots;
-for a fixed ``(algorithm, grid)`` it may also be reused across runs, which
-is what gives the model checker and the campaign engine their throughput.
+Because the keys are translation invariant *and* cap boundary distances at
+``phi``, they do not mention the grid dimensions at all: the entries are
+valid for the same algorithm on **any** grid.  :class:`MatcherCache`
+exploits this to share one set of memo tables (plus hit/miss statistics)
+between matchers for the same algorithm at different grid sizes — which is
+what lets a grid sweep or a scaling run pay the rule-evaluation cost once
+for every interior pattern instead of once per size.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.algorithm import Action, Algorithm, Match
 from ..core.grid import Grid, Node
 from ..core.views import Snapshot, ball_offsets
 
-__all__ = ["LocalMatcher"]
+__all__ = ["LocalMatcher", "MatcherStats", "MatcherCache"]
 
 #: A canonical, *position-independent* description of a robot's local
 #: neighbourhood: the wall pattern (its distances to the four grid
@@ -43,18 +47,89 @@ __all__ = ["LocalMatcher"]
 LocalKey = Tuple[Tuple[int, int, int, int], Tuple[Tuple[Node, str], ...]]
 
 
+class MatcherStats:
+    """Hit/miss counters for the matcher's memo tables.
+
+    A *hit* is any snapshot/match/action lookup served from a memo table; a
+    *miss* is a lookup that had to run the underlying guard evaluation.  The
+    counters are cumulative over the lifetime of the object, which may span
+    many matchers when the stats belong to a shared :class:`MatcherCache`.
+    """
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self, hits: int = 0, misses: int = 0) -> None:
+        self.hits = hits
+        self.misses = misses
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def merge(self, other: "MatcherStats") -> "MatcherStats":
+        """Accumulate another counter pair into this one (returns self)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        return self
+
+    def delta_since(self, snapshot: "MatcherStats") -> "MatcherStats":
+        """The counters accumulated since ``snapshot`` was taken."""
+        return MatcherStats(self.hits - snapshot.hits, self.misses - snapshot.misses)
+
+    def snapshot(self) -> "MatcherStats":
+        return MatcherStats(self.hits, self.misses)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses, "hit_rate": self.hit_rate}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MatcherStats(hits={self.hits}, misses={self.misses})"
+
+
 class LocalMatcher:
-    """Snapshot/match computation for one ``(algorithm, grid)`` pair, memoized."""
+    """Snapshot/match computation for one ``(algorithm, grid)`` pair, memoized.
 
-    __slots__ = ("algorithm", "grid", "_snapshots", "_matches", "_actions", "_frozen_matches")
+    The memo tables default to private per-matcher dictionaries; a
+    :class:`MatcherCache` may instead hand several matchers for the same
+    algorithm *shared* tables (see :meth:`MatcherCache.matcher_for`), which
+    is safe because the keys never mention absolute positions or the grid
+    shape.  ``stats`` counts hits and misses across all three table layers.
+    """
 
-    def __init__(self, algorithm: Algorithm, grid: Grid) -> None:
+    __slots__ = (
+        "algorithm",
+        "grid",
+        "stats",
+        "_snapshots",
+        "_matches",
+        "_actions",
+        "_frozen_matches",
+    )
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        grid: Grid,
+        *,
+        tables: Optional[Tuple[dict, dict, dict, dict]] = None,
+        stats: Optional[MatcherStats] = None,
+    ) -> None:
         self.algorithm = algorithm
         self.grid = grid
-        self._snapshots: Dict[LocalKey, Snapshot] = {}
-        self._matches: Dict[Tuple[str, LocalKey], Tuple[Match, ...]] = {}
-        self._actions: Dict[Tuple[str, LocalKey], Tuple[Action, ...]] = {}
-        self._frozen_matches: Dict[tuple, Tuple[Match, ...]] = {}
+        self.stats = stats if stats is not None else MatcherStats()
+        if tables is None:
+            self._snapshots: Dict[LocalKey, Snapshot] = {}
+            self._matches: Dict[Tuple[str, LocalKey], Tuple[Match, ...]] = {}
+            self._actions: Dict[Tuple[str, LocalKey], Tuple[Action, ...]] = {}
+            self._frozen_matches: Dict[tuple, Tuple[Match, ...]] = {}
+        else:
+            self._snapshots, self._matches, self._actions, self._frozen_matches = tables
 
     # ------------------------------------------------------------------
     # Local neighbourhood keys
@@ -67,7 +142,7 @@ class LocalMatcher:
         frozen records of a canonical state).  The key is translation
         invariant: only boundary distances capped at ``phi`` and *relative*
         robot offsets enter it, so identical local patterns at different
-        grid positions share one cache entry.
+        grid positions — or on different grids — share one cache entry.
         """
         phi = self.algorithm.phi
         ci, cj = center
@@ -79,14 +154,18 @@ class LocalMatcher:
             if abs(di) + abs(dj) <= phi:
                 near.append(((di, dj), robot.color))
         near.sort()
+        return (self._walls(center), tuple(near))
+
+    def _walls(self, center: Node) -> Tuple[int, int, int, int]:
+        phi = self.algorithm.phi
+        ci, cj = center
         grid = self.grid
-        walls = (
+        return (
             min(ci, phi),
             min(grid.m - 1 - ci, phi),
             min(cj, phi),
             min(grid.n - 1 - cj, phi),
         )
-        return (walls, tuple(near))
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -98,6 +177,7 @@ class LocalMatcher:
     def _snapshot_for(self, key: LocalKey) -> Snapshot:
         snapshot = self._snapshots.get(key)
         if snapshot is None:
+            self.stats.misses += 1
             (north, south, west, east), near = key
             per_cell: Dict[Node, list] = {}
             for offset, color in near:  # near is sorted, so color lists come out sorted
@@ -112,6 +192,8 @@ class LocalMatcher:
                 else:
                     snapshot[offset] = tuple(per_cell.get(offset, ()))
             self._snapshots[key] = snapshot
+        else:
+            self.stats.hits += 1
         return snapshot
 
     # ------------------------------------------------------------------
@@ -119,12 +201,18 @@ class LocalMatcher:
     # ------------------------------------------------------------------
     def matches(self, robots: Iterable, center: Node, color: str) -> Tuple[Match, ...]:
         """All (rule, symmetry) matches for a robot at ``center`` with light ``color``."""
-        key = self.local_key(robots, center)
+        return self.matches_for_key(self.local_key(robots, center), color)
+
+    def matches_for_key(self, key: LocalKey, color: str) -> Tuple[Match, ...]:
+        """Matches for an already-computed local key (the batched fast path)."""
         cache_key = (color, key)
         cached = self._matches.get(cache_key)
         if cached is None:
+            self.stats.misses += 1
             cached = tuple(self.algorithm.matches_for_snapshot(self._snapshot_for(key), color))
             self._matches[cache_key] = cached
+        else:
+            self.stats.hits += 1
         return cached
 
     def actions(self, robots: Iterable, center: Node, color: str) -> Tuple[Action, ...]:
@@ -133,8 +221,11 @@ class LocalMatcher:
         cache_key = (color, key)
         cached = self._actions.get(cache_key)
         if cached is None:
-            cached = tuple(self.algorithm.distinct_actions(self.matches(robots, center, color)))
+            self.stats.misses += 1
+            cached = tuple(self.algorithm.distinct_actions(self.matches_for_key(key, color)))
             self._actions[cache_key] = cached
+        else:
+            self.stats.hits += 1
         return cached
 
     def matches_for_frozen(self, frozen, color: str) -> Tuple[Match, ...]:
@@ -142,8 +233,11 @@ class LocalMatcher:
         cache_key = (color, frozen)
         cached = self._frozen_matches.get(cache_key)
         if cached is None:
+            self.stats.misses += 1
             cached = tuple(self.algorithm.matches_for_snapshot(dict(frozen), color))
             self._frozen_matches[cache_key] = cached
+        else:
+            self.stats.hits += 1
         return cached
 
     def matches_for_snapshot(self, snapshot: Snapshot, color: str) -> Tuple[Match, ...]:
@@ -153,3 +247,92 @@ class LocalMatcher:
     def enabled(self, robots: Iterable, center: Node, color: str) -> bool:
         """Whether some rule matches some view of a robot at ``center``."""
         return bool(self.matches(robots, center, color))
+
+    # ------------------------------------------------------------------
+    # Batched matching (the synchronous-round fast path)
+    # ------------------------------------------------------------------
+    def batched_matches(self, robots: Sequence) -> List[Tuple[object, Tuple[Match, ...]]]:
+        """``(robot, matches)`` for every robot, in one pass.
+
+        Builds the position index (``node -> colors``) **once** for the whole
+        configuration and derives every robot's local key by probing only the
+        ``O(phi^2)`` ball offsets, instead of rebuilding a per-robot
+        neighbourhood list by scanning all robots for each robot.  The keys —
+        and therefore the matches — are identical to per-robot
+        :meth:`matches` calls; the synchronous walk engines use this to
+        evaluate a whole round in one sweep.
+        """
+        by_pos: Dict[Node, List[str]] = {}
+        for robot in robots:
+            by_pos.setdefault(robot.pos, []).append(robot.color)
+        for colors in by_pos.values():
+            colors.sort()
+        offsets = ball_offsets(self.algorithm.phi)
+        result: List[Tuple[object, Tuple[Match, ...]]] = []
+        for robot in robots:
+            ci, cj = robot.pos
+            near = []
+            for di, dj in offsets:  # offsets are sorted, so near comes out sorted
+                cell = by_pos.get((ci + di, cj + dj))
+                if cell:
+                    near.extend(((di, dj), color) for color in cell)
+            key = (self._walls(robot.pos), tuple(near))
+            result.append((robot, self.matches_for_key(key, robot.color)))
+        return result
+
+
+class MatcherCache:
+    """Persistent snapshot/match memo tables, shareable across grid sizes.
+
+    The matcher's keys are translation invariant and cap boundary distances
+    at ``phi``, so an entry learned on one grid is valid for the same
+    algorithm on *every* grid: only the algorithm's rules, colors and
+    ``phi`` enter the cached computation.  This object owns one set of memo
+    tables (plus one :class:`MatcherStats`) per algorithm and hands out
+    :class:`LocalMatcher` views onto them via :meth:`matcher_for` — thread
+    it through repeated checks (a grid sweep, a scaling run, a campaign) and
+    every size after the first starts warm on all interior patterns.
+
+    Sharing is keyed on algorithm *identity*, not name, so two distinct
+    algorithm objects that happen to share a name never see each other's
+    entries.  The cache is designed for reuse within one process; the
+    sharded explorer and the parallel campaign engine keep one per worker
+    process instead of shipping it across the boundary.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[int, Tuple[dict, dict, dict, dict]] = {}
+        self._keepalive: Dict[int, Algorithm] = {}
+        self._stats: Dict[int, MatcherStats] = {}
+
+    def matcher_for(self, algorithm: Algorithm, grid: Grid) -> LocalMatcher:
+        """A matcher for ``(algorithm, grid)`` backed by the shared tables."""
+        key = id(algorithm)
+        tables = self._tables.get(key)
+        if tables is None:
+            tables = ({}, {}, {}, {})
+            self._tables[key] = tables
+            self._keepalive[key] = algorithm  # pin: id() keys must not be recycled
+            self._stats[key] = MatcherStats()
+        return LocalMatcher(algorithm, grid, tables=tables, stats=self._stats[key])
+
+    def stats_for(self, algorithm: Algorithm) -> MatcherStats:
+        """The (live) counters for one algorithm (zeros if never requested)."""
+        return self._stats.get(id(algorithm), MatcherStats())
+
+    @property
+    def stats(self) -> MatcherStats:
+        """Aggregate counters over every algorithm in the cache."""
+        total = MatcherStats()
+        for stats in self._stats.values():
+            total.merge(stats)
+        return total
+
+    def entry_count(self) -> int:
+        """Total number of memoized entries across all algorithms and tables."""
+        return sum(len(table) for tables in self._tables.values() for table in tables)
+
+    def clear(self) -> None:
+        self._tables.clear()
+        self._keepalive.clear()
+        self._stats.clear()

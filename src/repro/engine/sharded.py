@@ -1,0 +1,270 @@
+"""Hash-partitioned parallel state-space exploration.
+
+The serial explorer (:mod:`repro.engine.explorer`) expands a breadth-first
+frontier one state at a time; on multi-core machines that leaves all but
+one core idle while successor generation — guard evaluation over every
+``(rule, symmetry)`` pair — dominates the wall clock.  This module fans the
+frontier over a ``multiprocessing`` pool, wave by wave:
+
+1. **Partition.** The states of the current BFS wave are split by
+   canonical-state hash, ``shard = hash(state) % workers`` — the same
+   partitioning trick :class:`~repro.engine.campaign.ParallelCampaignEngine`
+   uses for campaign tasks, applied one level deeper, to the frontier
+   itself.  Hashing the canonical state keeps each shard's working set
+   disjoint and statistically balanced.
+2. **Expand.** Every worker expands its shard with a process-local
+   :class:`~repro.engine.transition.AlgorithmTransitionSystem` whose
+   matcher is backed by a per-worker
+   :class:`~repro.engine.matcher.MatcherCache` — the pool lives for the
+   whole exploration, so worker caches stay warm across waves.  When
+   ``symmetry_reduction`` is on, workers canonicalise their raw successors
+   locally and label each edge with the *name* of the witnessing symmetry.
+3. **Exchange & merge.** Successor rows — ``(canonical state, symmetry
+   name)`` pairs, the only cross-shard traffic — come back to the
+   coordinator, which replays them in serial BFS order: states are
+   interned in exactly the order the serial explorer would discover them,
+   so the merged :class:`~repro.engine.explorer.Exploration` is
+   *identical* to the serial one (states, indices, successor rows, edge
+   labels, and therefore the cycle/termination/coverage verdicts), and a
+   tripped state budget raises :class:`StateSpaceLimitExceeded` with the
+   exact context — message included — the serial explorer would produce.
+
+Cached ``SchedulerState`` hashes never cross the process boundary (string
+hashing is per-process randomized; see ``SchedulerState.__getstate__``), so
+shipped states intern correctly next to locally created ones.
+
+Algorithms are shipped to workers by registry name (rule sets close over
+lambdas and cannot be pickled); unregistered ad-hoc algorithms, and
+``workers <= 1``, fall back to the serial explorer, which produces the same
+``Exploration`` by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import StateSpaceLimitExceeded
+from ..core.grid import Grid
+from ..core.algorithm import Algorithm
+from .explorer import Exploration, explore
+from .matcher import MatcherCache, MatcherStats
+from .states import SchedulerState, initial_state
+from .symmetry import GridSymmetry, canonicalize, grid_symmetries
+from .transition import MODELS, AlgorithmTransitionSystem
+
+__all__ = ["explore_sharded", "default_workers"]
+
+
+def default_workers() -> int:
+    """The default shard count: one per core."""
+    return os.cpu_count() or 1
+
+
+def _registered(algorithm: Algorithm) -> bool:
+    from ..algorithms import registry  # local import: avoids a layering cycle
+
+    return registry.all_algorithms().get(algorithm.name) is algorithm
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+#: Per-process worker context: (transition system, symmetries-or-None).
+_WORKER: Optional[Tuple[AlgorithmTransitionSystem, Optional[Tuple[GridSymmetry, ...]]]] = None
+
+#: Per-process matcher cache — persistent across all waves of the
+#: exploration the pool was created for.  (Each ``explore_sharded`` call
+#: currently creates its own pool, so the cache does not yet survive into
+#: the next exploration; keeping one pool alive across a campaign's checks
+#: is a ROADMAP item.)
+_WORKER_CACHE: Optional[MatcherCache] = None
+
+
+def _init_worker(name: str, m: int, n: int, model: str, symmetry_reduction: bool) -> None:
+    """Pool initializer: build the per-process transition system once."""
+    global _WORKER, _WORKER_CACHE
+    from ..algorithms import registry  # local import: workers re-import lazily
+
+    algorithm = registry.get(name)
+    grid = Grid(m, n)
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = MatcherCache()
+    ts = AlgorithmTransitionSystem(
+        algorithm, grid, model, matcher=_WORKER_CACHE.matcher_for(algorithm, grid)
+    )
+    symmetries = grid_symmetries(grid, algorithm.chirality) if symmetry_reduction else ()
+    _WORKER = (ts, symmetries if len(symmetries) > 1 and symmetry_reduction else None)
+
+
+#: One expanded row: the state's canonicalised successors, each paired with
+#: the name of the symmetry ``h`` such that ``raw = h(rep)`` (``None`` for
+#: the identity / unreduced explorations).
+_Row = List[Tuple[SchedulerState, Optional[str]]]
+
+
+def _expand_shard(states: List[SchedulerState]) -> Tuple[List[_Row], Tuple[int, int]]:
+    """Expand one shard's slice of the wave; the worker map function.
+
+    Returns the successor rows in input order plus the matcher hit/miss
+    delta this batch generated (aggregated by the coordinator into
+    ``Exploration.matcher_stats``).
+    """
+    assert _WORKER is not None, "worker used before initialization"
+    ts, symmetries = _WORKER
+    stats_before = ts.matcher.stats.snapshot()
+    rows: List[_Row] = []
+    for state in states:
+        row: _Row = []
+        for raw in ts.successors(state):
+            if symmetries is not None:
+                rep, h = canonicalize(raw, symmetries)
+                row.append((rep, None if h is None else h.name))
+            else:
+                row.append((raw, None))
+        rows.append(row)
+    delta = ts.matcher.stats.delta_since(stats_before)
+    return rows, (delta.hits, delta.misses)
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+def explore_sharded(
+    algorithm: Algorithm,
+    grid: Grid,
+    model: str,
+    *,
+    workers: Optional[int] = None,
+    symmetry_reduction: bool = False,
+    max_states: int = 200_000,
+    start: Optional[SchedulerState] = None,
+) -> Exploration:
+    """Build the reachable successor graph with a sharded process pool.
+
+    The result is identical to ``explore(AlgorithmTransitionSystem(...))``
+    with the same keyword arguments — same states in the same interned
+    order, same successor rows and edge labels, hence bit-identical
+    cycle/termination/coverage verdicts — and a tripped ``max_states``
+    budget raises the same :class:`StateSpaceLimitExceeded`, context fields
+    and message included.  Only ``matcher_stats`` differs (it aggregates
+    the per-worker caches).
+
+    Falls back to the serial explorer when ``workers <= 1`` or when the
+    algorithm is not in the registry (its rules cannot cross the process
+    boundary).
+    """
+    if model not in MODELS:
+        raise ValueError(f"unknown model {model!r}")
+    workers = workers if workers is not None else default_workers()
+    if workers <= 1 or not _registered(algorithm):
+        ts = AlgorithmTransitionSystem(algorithm, grid, model)
+        return explore(
+            ts, symmetry_reduction=symmetry_reduction, max_states=max_states, start=start
+        )
+
+    import multiprocessing
+
+    symmetries = grid_symmetries(grid, algorithm.chirality) if symmetry_reduction else ()
+    reduce = symmetry_reduction and len(symmetries) > 1
+    # Workers ship edge labels as symmetry *names*; resolve them to the very
+    # instances the serial explorer would attach (``canonicalize`` labels
+    # edges with ``best.inverse()``, and inverses are cached on the shared
+    # group elements, so the lookup below reproduces serial labels exactly).
+    sym_by_name: Dict[str, GridSymmetry] = {
+        gs.inverse().name: gs.inverse() for gs in symmetries if not gs.is_identity
+    }
+
+    root_raw = start if start is not None else initial_state(algorithm, grid)
+    root_sym: Optional[GridSymmetry] = None
+    if reduce:
+        root_state, root_sym = canonicalize(root_raw, symmetries)
+    else:
+        root_state = root_raw
+
+    states: List[SchedulerState] = [root_state]
+    index: Dict[SchedulerState, int] = {root_state: 0}
+    succ: List[List[int]] = []
+    edge_syms: Optional[List[List[Optional[GridSymmetry]]]] = [] if reduce else None
+    total_stats = MatcherStats()
+
+    # The platform-default start method, for the same reason as the campaign
+    # engine: everything shipped is picklable and workers re-import lazily.
+    context = multiprocessing.get_context()
+    with context.Pool(
+        processes=workers,
+        initializer=_init_worker,
+        initargs=(algorithm.name, grid.m, grid.n, model, symmetry_reduction),
+    ) as pool:
+        wave: List[int] = [0]
+        while wave:
+            # -- partition the wave by canonical-state hash ---------------
+            shards: List[List[SchedulerState]] = [[] for _ in range(workers)]
+            placement: List[Tuple[int, int]] = []  # wave position -> (shard, slot)
+            for state_index in wave:
+                state = states[state_index]
+                shard = hash(state) % workers
+                placement.append((shard, len(shards[shard])))
+                shards[shard].append(state)
+
+            # -- expand every non-empty shard in parallel -----------------
+            occupied = [shard for shard in range(workers) if shards[shard]]
+            results = pool.map(_expand_shard, [shards[shard] for shard in occupied])
+            rows_by_shard: Dict[int, List[_Row]] = {}
+            for shard, (rows, (hits, misses)) in zip(occupied, results):
+                rows_by_shard[shard] = rows
+                total_stats.merge(MatcherStats(hits, misses))
+
+            # -- merge in serial BFS order --------------------------------
+            # Waves visit states in interned order and successors are
+            # interned row by row, which is exactly the serial explorer's
+            # FIFO discovery sequence — so indices, rows and the budget trip
+            # point all coincide with the serial run.
+            next_wave: List[int] = []
+            for wave_position, current in enumerate(wave):
+                assert current == len(succ)
+                shard, slot = placement[wave_position]
+                row_states = rows_by_shard[shard][slot]
+                row: List[int] = []
+                row_syms: List[Optional[GridSymmetry]] = []
+                for rep, sym_name in row_states:
+                    child = index.get(rep)
+                    if child is None:
+                        child = len(states)
+                        if child >= max_states:
+                            frontier_size = len(states) - len(succ) - 1
+                            raise StateSpaceLimitExceeded(
+                                f"{algorithm.name} on {grid.m}x{grid.n} [{model}]:"
+                                f" state budget of {max_states} exceeded after expanding"
+                                f" {len(succ)} states ({len(states)} discovered,"
+                                f" frontier size {frontier_size}"
+                                + (", symmetry reduction on)" if reduce else ")"),
+                                algorithm=algorithm.name,
+                                model=model,
+                                max_states=max_states,
+                                states_explored=len(succ),
+                                frontier_size=frontier_size,
+                            )
+                        index[rep] = child
+                        states.append(rep)
+                        next_wave.append(child)
+                    row.append(child)
+                    if reduce:
+                        row_syms.append(None if sym_name is None else sym_by_name[sym_name])
+                succ.append(row)
+                if reduce:
+                    assert edge_syms is not None
+                    edge_syms.append(row_syms)
+            wave = next_wave
+
+    return Exploration(
+        model=model,
+        reduced=reduce,
+        states=states,
+        index=index,
+        succ=succ,
+        edge_syms=edge_syms,
+        root=0,
+        root_sym=root_sym,
+        matcher_stats=total_stats.as_dict(),
+    )

@@ -46,9 +46,14 @@ __all__ = [
 FrozenSnapshot = Tuple[Tuple[Tuple[int, int], Optional[Tuple[str, ...]]], ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AsyncRobotState:
-    """One robot's record inside a canonical scheduler state."""
+    """One robot's record inside a canonical scheduler state.
+
+    Slotted: explorations hold hundreds of thousands of records, so dropping
+    the per-instance ``__dict__`` is a measurable memory and attribute-access
+    win on the kernel's hottest data.
+    """
 
     pos: Node
     color: str
@@ -94,7 +99,17 @@ def _record_sort_key(record: AsyncRobotState):
 
 @dataclass(frozen=True)
 class SchedulerState:
-    """A canonical state of the whole system under a given synchrony model."""
+    """A canonical state of the whole system under a given synchrony model.
+
+    Slotted manually (``robots`` plus the lazily filled ``_hash`` cache);
+    the hash cache is deliberately *not* pickled — string hashing is
+    randomized per process, so a cached value carried across a process
+    boundary would corrupt any hash container mixing shipped and locally
+    built states (the sharded explorer does exactly that when it interns
+    successors received from several workers).
+    """
+
+    __slots__ = ("robots", "_hash")
 
     robots: Tuple[AsyncRobotState, ...]
 
@@ -116,11 +131,20 @@ class SchedulerState:
         return tuple(_record_sort_key(robot) for robot in self.robots)
 
     def __hash__(self) -> int:
-        cached = self.__dict__.get("_hash")
-        if cached is None:
+        try:
+            return self._hash
+        except AttributeError:
             cached = hash(self.robots)
             object.__setattr__(self, "_hash", cached)
-        return cached
+            return cached
+
+    def __getstate__(self):
+        # Ship only the records: the hash cache is per-process (see class
+        # docstring) and must be recomputed on the receiving side.
+        return self.robots
+
+    def __setstate__(self, robots) -> None:
+        object.__setattr__(self, "robots", robots)
 
 
 def initial_state(algorithm: Algorithm, grid: Grid) -> SchedulerState:

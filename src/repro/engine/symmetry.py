@@ -29,6 +29,7 @@ if a raw successor ``u`` canonicalises to representative ``r`` via
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Optional, Tuple
 
 from ..core.grid import Grid, Node
@@ -46,7 +47,7 @@ class GridSymmetry:
     (relative moves, snapshot cells) transform by the linear part alone.
     """
 
-    __slots__ = ("symmetry", "m", "n", "_ti", "_tj", "preserves_shape")
+    __slots__ = ("symmetry", "m", "n", "_ti", "_tj", "preserves_shape", "_inverse")
 
     def __init__(self, symmetry: Symmetry, m: int, n: int) -> None:
         self.symmetry = symmetry
@@ -80,17 +81,37 @@ class GridSymmetry:
         return self.symmetry.apply(offset)
 
     def inverse(self) -> "GridSymmetry":
-        """The inverse grid symmetry (D4 is a group, so it always exists)."""
+        """The inverse grid symmetry (D4 is a group, so it always exists).
+
+        Cached on the instance: :func:`canonicalize` asks for the inverse of
+        the winning symmetry on every call, and the D4 scan plus the
+        :class:`GridSymmetry` construction are pure functions of ``self``.
+        """
+        try:
+            return self._inverse
+        except AttributeError:
+            pass
         for candidate in ALL_SYMMETRIES:
             if (
                 candidate.apply(self.symmetry.apply((1, 0))) == (1, 0)
                 and candidate.apply(self.symmetry.apply((0, 1))) == (0, 1)
             ):
-                return GridSymmetry(candidate, self.m, self.n)
+                self._inverse = GridSymmetry(candidate, self.m, self.n)
+                return self._inverse
         raise AssertionError(f"no inverse for {self.name}")  # pragma: no cover
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"GridSymmetry({self.name}, {self.m}x{self.n})"
+
+
+@lru_cache(maxsize=256)
+def _grid_symmetries_cached(m: int, n: int, chirality: bool) -> Tuple[GridSymmetry, ...]:
+    result = []
+    for symmetry in symmetries_for(chirality):
+        candidate = GridSymmetry(symmetry, m, n)
+        if candidate.preserves_shape:
+            result.append(candidate)
+    return tuple(result)
 
 
 def grid_symmetries(grid: Grid, chirality: bool) -> Tuple[GridSymmetry, ...]:
@@ -99,13 +120,12 @@ def grid_symmetries(grid: Grid, chirality: bool) -> Tuple[GridSymmetry, ...]:
     Always contains the identity first.  With ``chirality=True`` only the
     rotations are candidates; without it all eight D4 elements are.  The
     diagonal elements survive only on square grids.
+
+    Memoized per ``(m, n, chirality)``: one exploration computes the group
+    once (and :func:`canonicalize` reuses each element's cached inverse),
+    instead of rebuilding the eight candidate symmetries per call site.
     """
-    result = []
-    for symmetry in symmetries_for(chirality):
-        candidate = GridSymmetry(symmetry, grid.m, grid.n)
-        if candidate.preserves_shape:
-            result.append(candidate)
-    return tuple(result)
+    return _grid_symmetries_cached(grid.m, grid.n, chirality)
 
 
 def transform_state(state: SchedulerState, gs: GridSymmetry) -> SchedulerState:

@@ -26,7 +26,18 @@ so any run can be replayed exactly.
 
 All snapshot construction and rule matching goes through one
 :class:`~repro.engine.matcher.LocalMatcher` per run, so recurring local
-neighbourhoods (a robot sweeping an empty row) are evaluated once.
+neighbourhoods (a robot sweeping an empty row) are evaluated once.  Callers
+that run many executions of the same algorithm (campaigns, scaling sweeps)
+can pass ``matcher=`` explicitly — typically obtained from a
+:class:`~repro.engine.matcher.MatcherCache` — to start every run warm.
+
+The synchronous engines step through a *batched* fast path: each round the
+matcher builds one neighbourhood index for the whole configuration and
+evaluates every robot's matches in a single pass
+(:meth:`~repro.engine.matcher.LocalMatcher.batched_matches`), and those
+matches drive both the enabled-set test and the round execution — one
+matcher pass per round instead of the two per-robot passes the naive
+check-then-execute loop would make.
 """
 
 from __future__ import annotations
@@ -109,7 +120,7 @@ def _visit(visited: Set[Node], world: World) -> None:
         visited.add(robot.pos)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Recorder:
     """Shared bookkeeping between the three execution engines."""
 
@@ -122,6 +133,7 @@ class _Recorder:
     trace: List[Configuration] = field(default_factory=list)
     events: List[Event] = field(default_factory=list)
     visited: Set[Node] = field(default_factory=set)
+    initial: Configuration = field(init=False)
 
     def __post_init__(self) -> None:
         _visit(self.visited, self.world)
@@ -162,31 +174,38 @@ def _enabled_robots(matcher: LocalMatcher, world: World) -> List[Robot]:
     return [robot for robot in robots if matcher.matches(robots, robot.pos, robot.color)]
 
 
+def _round_matches(matcher: LocalMatcher, world: World) -> List[Tuple[Robot, Tuple[Match, ...]]]:
+    """``(robot, matches)`` for every *enabled* robot, via one batched pass.
+
+    This is the synchronous engines' per-round fast path: the matcher builds
+    the neighbourhood index once for the whole configuration, and the
+    returned matches are reused for the round execution instead of being
+    recomputed per activated robot.
+    """
+    return [(robot, matches) for robot, matches in matcher.batched_matches(world.robots) if matches]
+
+
 # ---------------------------------------------------------------------------
 # Synchronous engines (FSYNC / SSYNC)
 # ---------------------------------------------------------------------------
 def _synchronous_round(
     algorithm: Algorithm,
-    matcher: LocalMatcher,
     recorder: _Recorder,
-    active_rids: Sequence[int],
+    active: Sequence[Tuple[Robot, Tuple[Match, ...]]],
     round_index: int,
     tie_break: str,
     rng: random.Random,
 ) -> None:
-    """Execute one synchronous cycle for the given robots.
+    """Execute one synchronous cycle for the given ``(robot, matches)`` pairs.
 
-    All activated robots observe the same pre-round configuration; their
-    color changes and movements are applied simultaneously afterwards.
+    All activated robots observe the same pre-round configuration — their
+    matches were computed against it in one batched pass — and their color
+    changes and movements are applied simultaneously afterwards.
     """
     world = recorder.world
-    decisions: List[Tuple[Robot, Match]] = []
-    for rid in active_rids:
-        robot = world.robot(rid)
-        matches = matcher.matches(world.robots, robot.pos, robot.color)
-        if not matches:
-            continue
-        decisions.append((robot, _resolve(algorithm, matches, tie_break, rng)))
+    decisions: List[Tuple[Robot, Match]] = [
+        (robot, _resolve(algorithm, matches, tie_break, rng)) for robot, matches in active
+    ]
 
     # Apply all color changes and movements simultaneously.
     for robot, match in decisions:
@@ -217,23 +236,27 @@ def run_fsync(
     tie_break: str = TieBreak.ERROR,
     seed: int = 0,
     record_trace: bool = True,
+    matcher: Optional[LocalMatcher] = None,
 ) -> ExecutionResult:
-    """Simulate the algorithm under the fully synchronous scheduler."""
+    """Simulate the algorithm under the fully synchronous scheduler.
+
+    ``matcher`` may be supplied (typically from a shared
+    :class:`~repro.engine.matcher.MatcherCache`) to reuse snapshot/match
+    memo tables across runs; by default each run gets a private one.
+    """
     TieBreak.validate(tie_break)
     rng = random.Random(seed)
-    matcher = LocalMatcher(algorithm, grid)
+    matcher = matcher if matcher is not None else LocalMatcher(algorithm, grid)
     world = algorithm.initial_world(grid)
     recorder = _Recorder(algorithm, world, "FSYNC", record_trace, seed=seed, tie_break=tie_break)
     budget = max_steps if max_steps is not None else default_step_budget(grid, algorithm.k, "FSYNC")
 
     for round_index in range(budget):
-        enabled = _enabled_robots(matcher, world)
+        enabled = _round_matches(matcher, world)
         if not enabled:
             return recorder.result(round_index, True, "terminal")
-        _synchronous_round(
-            algorithm, matcher, recorder, [robot.rid for robot in enabled], round_index, tie_break, rng
-        )
-    terminated = not _enabled_robots(matcher, world)
+        _synchronous_round(algorithm, recorder, enabled, round_index, tie_break, rng)
+    terminated = not _round_matches(matcher, world)
     reason = "terminal" if terminated else "max_steps"
     return recorder.result(budget, terminated, reason)
 
@@ -246,23 +269,29 @@ def run_ssync(
     tie_break: str = TieBreak.FIRST,
     seed: int = 0,
     record_trace: bool = True,
+    matcher: Optional[LocalMatcher] = None,
 ) -> ExecutionResult:
     """Simulate the algorithm under a semi-synchronous scheduler."""
     TieBreak.validate(tie_break)
     rng = random.Random(seed)
     scheduler = scheduler if scheduler is not None else RandomSubset(seed=seed)
-    matcher = LocalMatcher(algorithm, grid)
+    matcher = matcher if matcher is not None else LocalMatcher(algorithm, grid)
     world = algorithm.initial_world(grid)
     recorder = _Recorder(algorithm, world, "SSYNC", record_trace, seed=seed, tie_break=tie_break)
     budget = max_steps if max_steps is not None else default_step_budget(grid, algorithm.k, "SSYNC")
 
     for round_index in range(budget):
-        enabled = _enabled_robots(matcher, world)
+        enabled = _round_matches(matcher, world)
         if not enabled:
             return recorder.result(round_index, True, "terminal")
-        chosen = scheduler.checked_select(round_index, [robot.rid for robot in enabled])
-        _synchronous_round(algorithm, matcher, recorder, chosen, round_index, tie_break, rng)
-    terminated = not _enabled_robots(matcher, world)
+        chosen = scheduler.checked_select(round_index, [robot.rid for robot, _ in enabled])
+        by_rid = {robot.rid: (robot, matches) for robot, matches in enabled}
+        # Preserve the scheduler's activation order exactly (it fixes the
+        # order in which tie-break randomness is consumed and events land).
+        _synchronous_round(
+            algorithm, recorder, [by_rid[rid] for rid in chosen], round_index, tie_break, rng
+        )
+    terminated = not _round_matches(matcher, world)
     reason = "terminal" if terminated else "max_steps"
     return recorder.result(budget, terminated, reason)
 
@@ -270,7 +299,7 @@ def run_ssync(
 # ---------------------------------------------------------------------------
 # Asynchronous engine
 # ---------------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class _AsyncRobotState:
     """Per-robot cycle state in the ASYNC engine."""
 
@@ -289,6 +318,7 @@ def run_async(
     tie_break: str = TieBreak.FIRST,
     seed: int = 0,
     record_trace: bool = True,
+    matcher: Optional[LocalMatcher] = None,
 ) -> ExecutionResult:
     """Simulate the algorithm under an asynchronous scheduler.
 
@@ -309,7 +339,7 @@ def run_async(
     TieBreak.validate(tie_break)
     rng = random.Random(seed)
     scheduler = scheduler if scheduler is not None else RandomAsync(seed=seed)
-    matcher = LocalMatcher(algorithm, grid)
+    matcher = matcher if matcher is not None else LocalMatcher(algorithm, grid)
     world = algorithm.initial_world(grid)
     recorder = _Recorder(algorithm, world, "ASYNC", record_trace, seed=seed, tie_break=tie_break)
     budget = max_steps if max_steps is not None else default_step_budget(grid, algorithm.k, "ASYNC")

@@ -1,0 +1,276 @@
+"""Tests for the sharded explorer and the persistent matcher caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import get
+from repro.checking import (
+    check_terminating_exploration,
+    enumerate_reachable,
+    explore_state_space,
+)
+from repro.core import Algorithm, G, Grid, Synchrony, W, occ
+from repro.core.errors import StateSpaceLimitExceeded
+from repro.core.rules import Guard, Rule
+from repro.engine import (
+    AlgorithmTransitionSystem,
+    MatcherCache,
+    explore,
+    explore_sharded,
+)
+
+
+def _serial(algorithm, grid, model, **kwargs):
+    return explore(AlgorithmTransitionSystem(algorithm, grid, model), **kwargs)
+
+
+class TestShardedSerialParity:
+    """Acceptance: workers=N reproduces the serial exploration exactly."""
+
+    @pytest.mark.parametrize(
+        "name,m,n,model",
+        [
+            ("fsync_phi2_l2_chir_k2", 4, 4, "FSYNC"),
+            ("fsync_phi2_l2_chir_k2", 4, 4, "SSYNC"),
+            ("async_phi2_l3_chir_k2", 3, 4, "ASYNC"),
+        ],
+    )
+    @pytest.mark.parametrize("symmetry_reduction", [False, True])
+    def test_exploration_identical_across_models(self, name, m, n, model, symmetry_reduction):
+        algorithm = get(name)
+        grid = Grid(m, n)
+        serial = _serial(algorithm, grid, model, symmetry_reduction=symmetry_reduction)
+        sharded = explore_sharded(
+            algorithm, grid, model, workers=2, symmetry_reduction=symmetry_reduction
+        )
+        assert sharded.num_states == serial.num_states
+        assert sharded.states == serial.states  # same states in the same interned order
+        assert sharded.succ == serial.succ
+        assert sharded.index == serial.index
+        assert sharded.reduced == serial.reduced
+        if serial.edge_syms is None:
+            assert sharded.edge_syms is None
+        else:
+            # Edge labels resolve to the very same cached symmetry instances.
+            assert sharded.edge_syms == serial.edge_syms
+        assert sharded.root_sym is serial.root_sym
+
+    def test_check_verdicts_identical_with_workers(self):
+        algorithm = get("async_phi2_l3_chir_k2")
+        grid = Grid(3, 4)
+        serial = check_terminating_exploration(algorithm, grid, model="ASYNC")
+        sharded = check_terminating_exploration(algorithm, grid, model="ASYNC", workers=2)
+        assert sharded.ok == serial.ok
+        assert sharded.terminates == serial.terminates
+        assert sharded.explores == serial.explores
+        assert sharded.states_explored == serial.states_explored
+        assert sharded.terminal_states == serial.terminal_states
+        assert sharded.counterexample == serial.counterexample
+
+    def test_public_wrappers_accept_workers(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(4, 4)
+        serial_graph = explore_state_space(algorithm, grid, model="SSYNC")
+        sharded_graph = explore_state_space(algorithm, grid, model="SSYNC", workers=2)
+        assert sharded_graph == serial_graph
+        assert enumerate_reachable(algorithm, grid, model="SSYNC", workers=2) == len(serial_graph)
+
+    def test_sharded_matcher_stats_are_aggregated(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        exploration = explore_sharded(algorithm, Grid(4, 4), "SSYNC", workers=2)
+        stats = exploration.matcher_stats
+        assert stats is not None
+        assert stats["misses"] > 0  # workers really evaluated guards
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+
+    def test_unregistered_algorithm_falls_back_to_serial(self):
+        rules = (
+            Rule("R1", G, Guard.build(1, E=occ(W)), G, "E"),
+            Rule("R2", W, Guard.build(1, W=occ(G)), W, None),
+        )
+        adhoc = Algorithm(
+            name="adhoc_sharded_test",
+            synchrony=Synchrony.FSYNC,
+            phi=1,
+            colors=(G, W),
+            chirality=True,
+            k=2,
+            rules=rules,
+            initial_placement=lambda m, n: [((0, 0), G), ((0, 1), W)],
+            min_m=1,
+            min_n=3,
+        )
+        grid = Grid(1, 3)
+        serial = _serial(adhoc, grid, "FSYNC", max_states=500)
+        sharded = explore_sharded(adhoc, grid, "FSYNC", workers=4, max_states=500)
+        assert sharded.states == serial.states
+        assert sharded.succ == serial.succ
+
+    def test_workers_one_is_the_serial_path(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(3, 3)
+        serial = _serial(algorithm, grid, "FSYNC")
+        sharded = explore_sharded(algorithm, grid, "FSYNC", workers=1)
+        assert sharded.states == serial.states
+        assert sharded.succ == serial.succ
+
+
+class TestShardedBudgetParity:
+    """The state budget trips with the serial explorer's exact context."""
+
+    @pytest.mark.parametrize(
+        "name,m,n,model,budget",
+        [
+            ("async_phi2_l2_nochir_k4", 4, 6, "ASYNC", 10),
+            ("fsync_phi2_l2_nochir_k3", 8, 8, "SSYNC", 100),
+        ],
+    )
+    def test_limit_error_context_identical(self, name, m, n, model, budget):
+        algorithm = get(name)
+        grid = Grid(m, n)
+        with pytest.raises(StateSpaceLimitExceeded) as serial_info:
+            _serial(algorithm, grid, model, max_states=budget)
+        with pytest.raises(StateSpaceLimitExceeded) as sharded_info:
+            explore_sharded(algorithm, grid, model, workers=3, max_states=budget)
+        serial, sharded = serial_info.value, sharded_info.value
+        assert str(sharded) == str(serial)
+        assert sharded.algorithm == serial.algorithm == algorithm.name
+        assert sharded.model == serial.model == model
+        assert sharded.max_states == serial.max_states == budget
+        assert sharded.states_explored == serial.states_explored
+        assert sharded.frontier_size == serial.frontier_size
+
+    def test_limit_error_context_identical_with_symmetry(self):
+        algorithm = get("fsync_phi2_l2_nochir_k3")
+        grid = Grid(8, 8)
+        with pytest.raises(StateSpaceLimitExceeded) as serial_info:
+            _serial(algorithm, grid, "SSYNC", symmetry_reduction=True, max_states=80)
+        with pytest.raises(StateSpaceLimitExceeded) as sharded_info:
+            explore_sharded(
+                algorithm, grid, "SSYNC", workers=2, symmetry_reduction=True, max_states=80
+            )
+        assert str(sharded_info.value) == str(serial_info.value)
+        assert "symmetry reduction on" in str(sharded_info.value)
+
+
+class TestMatcherCache:
+    def test_cross_size_reuse_has_nonzero_hits(self):
+        """Acceptance: a cache warmed at other sizes hits at a new size."""
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        cache = MatcherCache()
+        for size in [(3, 3), (3, 4), (3, 5)]:
+            check_terminating_exploration(algorithm, Grid(*size), model="FSYNC", cache=cache)
+        before = cache.stats.snapshot()
+        result = check_terminating_exploration(algorithm, Grid(4, 4), model="FSYNC", cache=cache)
+        delta = cache.stats.delta_since(before)
+        assert delta.hits > 0
+        assert result.matcher_stats is not None
+        assert result.matcher_stats["hits"] == delta.hits
+
+    def test_cache_does_not_change_verdicts(self):
+        algorithm = get("async_phi2_l3_chir_k2")
+        grid = Grid(3, 4)
+        plain = check_terminating_exploration(algorithm, grid, model="ASYNC")
+        cache = MatcherCache()
+        cached = check_terminating_exploration(algorithm, grid, model="ASYNC", cache=cache)
+        recheck = check_terminating_exploration(algorithm, grid, model="ASYNC", cache=cache)
+        for result in (cached, recheck):
+            assert result.ok == plain.ok
+            assert result.states_explored == plain.states_explored
+            assert result.terminal_states == plain.terminal_states
+        # The second run over the same cache is (almost) all hits.
+        assert recheck.matcher_stats["hit_rate"] > 0.9
+
+    def test_tables_are_shared_per_algorithm_identity(self):
+        first = get("fsync_phi2_l2_chir_k2")
+        second = get("fsync_phi1_l2_chir_k3")
+        cache = MatcherCache()
+        matcher_a = cache.matcher_for(first, Grid(3, 3))
+        matcher_b = cache.matcher_for(first, Grid(5, 5))
+        matcher_c = cache.matcher_for(second, Grid(3, 3))
+        assert matcher_a._matches is matcher_b._matches  # same algorithm: shared tables
+        assert matcher_a._matches is not matcher_c._matches  # different algorithm: isolated
+        assert matcher_a.stats is matcher_b.stats
+
+    def test_summary_surfaces_cache_stats(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        cache = MatcherCache()
+        check_terminating_exploration(algorithm, Grid(3, 3), model="FSYNC", cache=cache)
+        result = check_terminating_exploration(algorithm, Grid(3, 3), model="FSYNC", cache=cache)
+        assert "match cache" in result.summary()
+
+
+class TestSlotsAndBatching:
+    def test_hot_state_classes_have_no_dict(self):
+        from repro.engine.states import AsyncRobotState, initial_state
+
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        state = initial_state(algorithm, Grid(3, 3))
+        assert not hasattr(state, "__dict__")
+        assert not hasattr(state.robots[0], "__dict__")
+        record = AsyncRobotState(pos=(0, 0), color="W")
+        with pytest.raises((AttributeError, TypeError)):
+            object.__setattr__(record, "not_a_slot", 1)
+
+    def test_scheduler_state_hash_cache_not_pickled(self):
+        import pickle
+
+        from repro.engine.states import initial_state
+
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        state = initial_state(algorithm, Grid(3, 3))
+        hash(state)  # populate the cache
+        clone = pickle.loads(pickle.dumps(state))
+        with pytest.raises(AttributeError):
+            object.__getattribute__(clone, "_hash")
+        assert clone == state and hash(clone) == hash(state)
+
+    def test_batched_matches_agree_with_per_robot_matches(self):
+        from repro.engine import LocalMatcher
+
+        for name in ("fsync_phi2_l2_chir_k2", "fsync_phi1_l2_nochir_k5"):
+            algorithm = get(name)
+            grid = Grid(4, 5)
+            matcher = LocalMatcher(algorithm, grid)
+            reference = LocalMatcher(algorithm, grid)
+            world = algorithm.initial_world(grid)
+            batch = matcher.batched_matches(world.robots)
+            assert [robot.rid for robot, _ in batch] == [robot.rid for robot in world.robots]
+            for robot, matches in batch:
+                assert matches == reference.matches(world.robots, robot.pos, robot.color)
+
+    def test_walk_results_unchanged_by_shared_matcher(self):
+        from repro.core import run_fsync
+        from repro.engine import MatcherCache
+
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(4, 5)
+        plain = run_fsync(algorithm, grid)
+        cache = MatcherCache()
+        warm = run_fsync(algorithm, grid, matcher=cache.matcher_for(algorithm, grid))
+        rewarm = run_fsync(algorithm, grid, matcher=cache.matcher_for(algorithm, grid))
+        for result in (warm, rewarm):
+            assert result.final == plain.final
+            assert result.events == plain.events
+            assert result.steps == plain.steps
+
+
+class TestCampaignCacheObservability:
+    def test_serial_campaign_reports_carry_cache_counters(self):
+        from repro.verification import grid_sweep
+
+        report = grid_sweep(get("fsync_phi2_l2_chir_k2"), sizes=[(3, 3), (3, 4), (4, 4)])
+        assert report.ok
+        assert all(r.cache_hits is not None for r in report.reports)
+        # Later sizes reuse patterns learned at earlier ones.
+        assert sum(r.cache_hits for r in report.reports[1:]) > 0
+        assert "match cache" in report.summary()
+
+    def test_cache_counters_do_not_break_parallel_parity(self):
+        from repro.engine.campaign import VerificationReport
+
+        first = VerificationReport("a", "FSYNC", 3, 3, None, True, 1, 1, "ok", cache_hits=10, cache_misses=1)
+        second = VerificationReport("a", "FSYNC", 3, 3, None, True, 1, 1, "ok", cache_hits=99, cache_misses=5)
+        assert first == second  # observability fields are compare=False
+        assert str(first) == str(second)
