@@ -12,7 +12,12 @@ machine-readable ledger, ``BENCH_engine.json`` at the repo root:
   :class:`~repro.engine.matcher.MatcherCache` fast path and against the
   sharded explorer with ``workers=4``;
 * **cross-size cache reuse** — hit rates of one shared cache swept across
-  a family of grid sizes (the matcher's keys are grid-size independent).
+  a family of grid sizes (the matcher's keys are grid-size independent);
+* **pooled reuse** (PR 3 trajectory) — two consecutive small-grid checks on
+  one persistent :class:`~repro.engine.pool.ExplorationPool` against two
+  cold ``explore_sharded`` calls that each pay pool startup; the pooled
+  case must be faster and its second check must hit the worker caches
+  warmed by the first.
 
 Run directly:
 
@@ -44,6 +49,7 @@ from repro.core import Grid
 from repro.core.algorithm import Algorithm
 from repro.engine import (
     AlgorithmTransitionSystem,
+    ExplorationPool,
     MatcherCache,
     SchedulerState,
     explore,
@@ -221,7 +227,10 @@ def bench_fsync_4x4(repetitions: int, workers: int) -> List[dict]:
     start = time.perf_counter()
     sharded_states = explore_sharded(algorithm, grid, "FSYNC", workers=workers).num_states
     sharded_s = time.perf_counter() - start
-    assert sharded_states == states, "sharded explorer diverged from the serial check"
+    # RuntimeError, not assert: parity must hold even under ``python -O``,
+    # or a diverging run could be recorded as a passing baseline.
+    if sharded_states != states:
+        raise RuntimeError("sharded explorer diverged from the serial check")
 
     return [
         _case(f"{label} cold", cold_s, states),
@@ -261,6 +270,53 @@ def bench_cross_size_cache() -> Tuple[List[dict], float]:
     return rows, final_rate
 
 
+def bench_pooled_reuse(workers: int) -> Tuple[List[dict], float, float]:
+    """The PR-3 trajectory: two consecutive checks, pooled vs cold sharded.
+
+    The cold case runs ``explore_sharded`` twice, each call spawning and
+    tearing down its own process pool — the regime where pool startup
+    dominates small grids.  The pooled case runs the same two checks on one
+    persistent :class:`ExplorationPool` (``serial_threshold=0`` so the
+    workers are actually exercised): startup is paid once and the second
+    check hits the worker caches warmed by the first.  Returns the rows
+    plus the pooled-vs-cold speedup and the second check's hit rate.
+    """
+    algorithm = get("fsync_phi2_l2_chir_k2")
+    grid = Grid(3, 3)
+    label = "fsync_phi2_l2_chir_k2 3x3 [FSYNC]"
+    serial_check = check_terminating_exploration(algorithm, grid, model="FSYNC")
+    states = serial_check.states_explored
+
+    start = time.perf_counter()
+    for _ in range(2):
+        explore_sharded(algorithm, grid, "FSYNC", workers=workers)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with ExplorationPool(workers=workers, serial_threshold=0) as pool:
+        first = check_terminating_exploration(algorithm, grid, model="FSYNC", pool=pool)
+        second = check_terminating_exploration(algorithm, grid, model="FSYNC", pool=pool)
+    pooled_s = time.perf_counter() - start
+    if first != serial_check or second != serial_check:
+        raise RuntimeError("pooled check diverged from the serial check")
+
+    reuse_rate = second.matcher_stats["hit_rate"]
+    return (
+        [
+            _case(f"{label} 2x cold sharded", cold_s, 2 * states, workers=workers),
+            _case(
+                f"{label} 2x pooled",
+                pooled_s,
+                2 * states,
+                cache_hit_rate=reuse_rate,
+                workers=workers,
+            ),
+        ],
+        cold_s / pooled_s if pooled_s else float("inf"),
+        reuse_rate,
+    )
+
+
 def bench_sharded_wide(workers: int) -> List[dict]:
     """Serial vs sharded on the widest shared workload (8x8 SSYNC, k=3)."""
     algorithm = get("fsync_phi2_l2_nochir_k3")
@@ -274,7 +330,8 @@ def bench_sharded_wide(workers: int) -> List[dict]:
     start = time.perf_counter()
     sharded = explore_sharded(algorithm, grid, "SSYNC", workers=workers).num_states
     sharded_s = time.perf_counter() - start
-    assert sharded == serial
+    if sharded != serial:
+        raise RuntimeError("sharded explorer diverged from the serial exploration")
 
     return [
         _case(f"{label} serial", serial_s, serial),
@@ -309,6 +366,8 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
     rows += bench_fsync_4x4(repetitions, workers)
     cross_rows, cross_rate = bench_cross_size_cache()
     rows += cross_rows
+    pooled_rows, pooled_x, pooled_reuse_rate = bench_pooled_reuse(workers)
+    rows += pooled_rows
     rows += bench_sharded_wide(workers)
 
     by_case = _by_case(rows)
@@ -333,6 +392,10 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
         f" on {os.cpu_count()} CPU core(s)"
     )
     print(f"cross-size matcher-cache hit rate on the final sweep size: {cross_rate:.0%}")
+    print(
+        f"3x3 FSYNC twice: persistent pool is {pooled_x:.2f}x two cold sharded calls"
+        f" ({pooled_reuse_rate:.0%} cache hits on the second check)"
+    )
 
     ok = True
     if engine_x < 2.0:
@@ -346,6 +409,18 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
         ok = False
     if cross_rate <= 0.0:
         print("FAIL: expected a nonzero cross-size matcher-cache hit rate", file=sys.stderr)
+        ok = False
+    if pooled_x <= 1.0:
+        print(
+            "FAIL: expected two pooled checks to beat two cold sharded calls on 3x3 FSYNC",
+            file=sys.stderr,
+        )
+        ok = False
+    if pooled_reuse_rate <= 0.0:
+        print(
+            "FAIL: expected a nonzero cross-exploration hit rate on the second pooled check",
+            file=sys.stderr,
+        )
         ok = False
     if not ok:
         # Leave the previously recorded baseline in place: a failing run
@@ -366,6 +441,8 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
             "fsync_4x4_exhaustive_speedup": fsync44_x,
             "sharded_vs_serial_8x8_ssync": sharded_x,
             "cross_size_cache_hit_rate": cross_rate,
+            "pooled_vs_cold_sharded_3x3_fsync_x2": pooled_x,
+            "pooled_cross_exploration_hit_rate": pooled_reuse_rate,
         },
         # The guard compares the machine-independent *ratio* of the kernel
         # to the same-machine seed reference, not absolute states/s.

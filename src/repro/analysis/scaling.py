@@ -14,10 +14,17 @@ from typing import Iterable, List, Optional, Tuple
 from ..core.algorithm import Algorithm
 from ..core.grid import Grid
 from ..engine.matcher import MatcherCache
+from ..engine.pool import ExplorationPool
 from ..engine.suites import scaling_suite
 from ..engine.walk import TieBreak, run_fsync
 
-__all__ = ["ScalingPoint", "round_complexity_sweep", "fit_linear_in_nodes"]
+__all__ = [
+    "ScalingPoint",
+    "StateSpacePoint",
+    "round_complexity_sweep",
+    "state_space_sweep",
+    "fit_linear_in_nodes",
+]
 
 
 @dataclass(frozen=True)
@@ -35,18 +42,23 @@ def round_complexity_sweep(
     algorithm: Algorithm,
     sizes: Optional[Iterable[Tuple[int, int]]] = None,
     cache: Optional[MatcherCache] = None,
+    pool: Optional[ExplorationPool] = None,
 ) -> List[ScalingPoint]:
     """Measure FSYNC rounds and moves over a family of grid sizes.
 
     The default size family is the shared :func:`repro.engine.suites.scaling_suite`.
-    One :class:`~repro.engine.matcher.MatcherCache` (freshly created unless
-    supplied) spans the whole sweep: the matcher's keys are grid-size
-    independent, so every size after the first replays the interior
-    patterns from the cache instead of re-evaluating the guards.
+    One :class:`~repro.engine.matcher.MatcherCache` spans the whole sweep:
+    the matcher's keys are grid-size independent, so every size after the
+    first replays the interior patterns from the cache instead of
+    re-evaluating the guards.  The cache is, in order of preference, the
+    caller's ``cache``, the coordinator cache of the caller's ``pool`` (so
+    sweeps share warmth with every other workload threaded through that
+    :class:`~repro.engine.pool.ExplorationPool`), or a fresh one.
     """
     if sizes is None:
         sizes = scaling_suite(algorithm)
-    cache = cache if cache is not None else MatcherCache()
+    if cache is None:
+        cache = pool.cache if pool is not None else MatcherCache()
     points = []
     for m, n in sizes:
         if not algorithm.supports_grid(m, n):
@@ -57,6 +69,64 @@ def round_complexity_sweep(
         )
         points.append(
             ScalingPoint(m=m, n=n, nodes=m * n, steps=result.steps, moves=result.total_moves)
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class StateSpacePoint:
+    """One measurement of a state-space scaling sweep."""
+
+    m: int
+    n: int
+    nodes: int
+    #: Reachable canonical states (of the symmetry quotient if reduced).
+    states: int
+    #: Matcher-cache hit rate observed during this size's exploration.
+    cache_hit_rate: float
+
+
+def state_space_sweep(
+    algorithm: Algorithm,
+    sizes: Optional[Iterable[Tuple[int, int]]] = None,
+    model: str = "FSYNC",
+    symmetry_reduction: bool = False,
+    max_states: int = 200_000,
+    pool: Optional[ExplorationPool] = None,
+) -> List[StateSpacePoint]:
+    """Measure reachable-state-space growth over a family of grid sizes.
+
+    Each size is explored exhaustively.  With ``pool`` the sweep runs
+    through the persistent :class:`~repro.engine.pool.ExplorationPool`:
+    small sizes route serially on its warm coordinator cache, large ones
+    shard over its long-lived workers, and every size after the first
+    benefits from the patterns already memoized — without the pool, each
+    size runs serially on one sweep-local cache.  The counts are identical
+    either way (routing and caching never change exploration results).
+    """
+    if sizes is None:
+        sizes = scaling_suite(algorithm)
+    pool = pool if pool is not None else ExplorationPool(workers=1)
+    points = []
+    for m, n in sizes:
+        if not algorithm.supports_grid(m, n):
+            continue
+        exploration = pool.explore(
+            algorithm,
+            Grid(m, n),
+            model,
+            symmetry_reduction=symmetry_reduction,
+            max_states=max_states,
+        )
+        stats = exploration.matcher_stats or {}
+        points.append(
+            StateSpacePoint(
+                m=m,
+                n=n,
+                nodes=m * n,
+                states=exploration.num_states,
+                cache_hit_rate=float(stats.get("hit_rate", 0.0)),
+            )
         )
     return points
 

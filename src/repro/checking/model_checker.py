@@ -42,8 +42,9 @@ from typing import Dict, List, Optional
 
 from ..core.algorithm import Algorithm
 from ..core.grid import Grid
-from ..engine.explorer import Exploration, explore, guaranteed_nodes, has_cycle
+from ..engine.explorer import Exploration, guaranteed_nodes, has_cycle
 from ..engine.matcher import MatcherCache
+from ..engine.pool import ExplorationPool
 from ..engine.sharded import explore_sharded
 from ..engine.states import SchedulerState
 from ..engine.transition import AlgorithmTransitionSystem
@@ -111,29 +112,44 @@ def _explore(
     symmetry_reduction: bool,
     workers: Optional[int],
     cache: Optional[MatcherCache],
+    pool: Optional[ExplorationPool],
 ) -> Exploration:
-    """Route one exploration through the sharded or the serial explorer.
+    """Route one exploration through the pool, the sharded or the serial explorer.
 
-    ``workers > 1`` fans the frontier over a process pool (see
-    :mod:`repro.engine.sharded`); otherwise the exploration runs serially,
-    optionally on a matcher backed by a shared :class:`MatcherCache` so
-    repeated checks of the same algorithm — at any grid size — start warm.
+    ``pool`` — a persistent :class:`~repro.engine.pool.ExplorationPool` —
+    takes precedence: the pool routes adaptively (serial below its
+    estimated-state-count threshold, sharded on its long-lived workers
+    above) and keeps both its coordinator-side and its per-worker matcher
+    caches warm across the checks threaded through it.  Otherwise
+    ``workers > 1`` fans the frontier over an ephemeral process pool (see
+    :mod:`repro.engine.sharded`), and the serial path optionally runs on a
+    matcher backed by a shared :class:`MatcherCache` so repeated checks of
+    the same algorithm — at any grid size — start warm.  Every route
+    produces the identical ``Exploration``.
     """
     if model not in ("FSYNC", "SSYNC", "ASYNC"):
         raise ValueError(f"unknown model {model!r}")
-    if workers is not None and workers > 1:
-        return explore_sharded(
+    if pool is not None:
+        return pool.explore(
             algorithm,
             grid,
             model,
-            workers=workers,
             symmetry_reduction=symmetry_reduction,
             max_states=max_states,
             start=start,
         )
-    matcher = cache.matcher_for(algorithm, grid) if cache is not None else None
-    ts = AlgorithmTransitionSystem(algorithm, grid, model, matcher=matcher)
-    return explore(ts, symmetry_reduction=symmetry_reduction, max_states=max_states, start=start)
+    # explore_sharded owns both remaining routes: workers > 1 shards over an
+    # ephemeral pool, workers <= 1 is the serial explorer on ``cache``.
+    return explore_sharded(
+        algorithm,
+        grid,
+        model,
+        workers=workers if workers is not None else 1,
+        symmetry_reduction=symmetry_reduction,
+        max_states=max_states,
+        start=start,
+        cache=cache,
+    )
 
 
 def explore_state_space(
@@ -145,6 +161,7 @@ def explore_state_space(
     symmetry_reduction: bool = False,
     workers: Optional[int] = None,
     cache: Optional[MatcherCache] = None,
+    pool: Optional[ExplorationPool] = None,
 ) -> Dict[SchedulerState, List[SchedulerState]]:
     """Build the successor graph of all reachable scheduler states.
 
@@ -153,8 +170,11 @@ def explore_state_space(
     successor list contains the representatives of its raw successors.
 
     ``workers > 1`` shards the frontier across a process pool; ``cache``
-    reuses snapshot/match memo tables across repeated (serial) checks.
-    Both leave the result unchanged.
+    reuses snapshot/match memo tables across repeated (serial) checks;
+    ``pool`` runs the exploration on a persistent
+    :class:`~repro.engine.pool.ExplorationPool` (superseding ``workers``
+    and ``cache``, which the pool manages itself).  All three leave the
+    result unchanged.
     """
     exploration = _explore(
         algorithm,
@@ -165,6 +185,7 @@ def explore_state_space(
         symmetry_reduction=symmetry_reduction,
         workers=workers,
         cache=cache,
+        pool=pool,
     )
     return exploration.graph()
 
@@ -177,6 +198,7 @@ def enumerate_reachable(
     symmetry_reduction: bool = False,
     workers: Optional[int] = None,
     cache: Optional[MatcherCache] = None,
+    pool: Optional[ExplorationPool] = None,
 ) -> int:
     """Number of reachable canonical states (convenience wrapper)."""
     return _explore(
@@ -187,6 +209,7 @@ def enumerate_reachable(
         symmetry_reduction=symmetry_reduction,
         workers=workers,
         cache=cache,
+        pool=pool,
     ).num_states
 
 
@@ -198,6 +221,7 @@ def check_terminating_exploration(
     symmetry_reduction: bool = False,
     workers: Optional[int] = None,
     cache: Optional[MatcherCache] = None,
+    pool: Optional[ExplorationPool] = None,
 ) -> CheckResult:
     """Exhaustively decide Definition 1 over all scheduler behaviours.
 
@@ -206,8 +230,10 @@ def check_terminating_exploration(
     infinite raw execution and vice versa, and coverage sets are mapped
     exactly through the collapsing symmetries).  It is likewise identical
     with and without ``workers`` (sharded exploration merges into the
-    serial graph exactly) and with and without ``cache`` (memoization only
-    skips recomputation).
+    serial graph exactly), with and without ``cache`` (memoization only
+    skips recomputation), and with and without ``pool`` (a persistent
+    :class:`~repro.engine.pool.ExplorationPool`, which routes adaptively
+    between those two mechanisms and supersedes both arguments).
     """
     exploration = _explore(
         algorithm,
@@ -217,6 +243,7 @@ def check_terminating_exploration(
         symmetry_reduction=symmetry_reduction,
         workers=workers,
         cache=cache,
+        pool=pool,
     )
     terminal_states = len(exploration.terminal_indices())
 

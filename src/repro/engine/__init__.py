@@ -13,6 +13,9 @@ paper are implemented; every other layer consumes it:
   coverage analyses (the model checker's substrate);
 * :mod:`repro.engine.sharded` — hash-partitioned parallel exploration over
   a process pool, merge-identical to the serial explorer;
+* :mod:`repro.engine.pool` — the persistent :class:`ExplorationPool`:
+  long-lived workers with surviving matcher caches, adaptive
+  serial/sharded routing;
 * :mod:`repro.engine.walk` — the lazy single-path simulator;
 * :mod:`repro.engine.suites` — shared grid-size suites;
 * :mod:`repro.engine.campaign` — batched serial/parallel campaign runner.
@@ -34,7 +37,8 @@ from .campaign import (
 )
 from .explorer import Exploration, explore, guaranteed_nodes, has_cycle, topological_order
 from .matcher import LocalMatcher, MatcherCache, MatcherStats
-from .sharded import default_workers, explore_sharded
+from .pool import ExplorationPool, default_workers, estimate_states, process_cache
+from .sharded import explore_sharded
 from .states import (
     AsyncRobotState,
     FrozenSnapshot,
@@ -74,7 +78,11 @@ __all__ = [
     "Exploration",
     "explore",
     "explore_sharded",
+    # pool
+    "ExplorationPool",
     "default_workers",
+    "estimate_states",
+    "process_cache",
     "has_cycle",
     "topological_order",
     "guaranteed_nodes",

@@ -21,7 +21,6 @@ distinct-but-reproducible seeds without enumerating them by hand.
 from __future__ import annotations
 
 import hashlib
-import os
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -30,6 +29,7 @@ from ..core.errors import VerificationError
 from ..core.execution import ExecutionResult
 from ..core.grid import Grid
 from .matcher import LocalMatcher, MatcherCache
+from .pool import ExplorationPool, default_workers, process_cache, registered
 from .suites import default_grid_suite
 from .walk import TieBreak, run_async, run_fsync, run_ssync
 
@@ -58,6 +58,10 @@ class VerificationReport:
     model: str
     m: int
     n: int
+    #: The seed that actually drove the run (:func:`verify_one` normalizes
+    #: ``None`` to ``0`` before executing), so replaying with
+    #: ``seed=report.seed`` reproduces the run exactly.  ``None`` only on
+    #: reports built by hand.
     seed: Optional[int]
     ok: bool
     steps: int
@@ -128,24 +132,29 @@ def _execute(
     algorithm: Algorithm,
     grid: Grid,
     model: str,
-    seed: Optional[int],
+    seed: int,
     tie_break: str,
     max_steps: Optional[int],
     matcher: Optional[LocalMatcher] = None,
 ) -> ExecutionResult:
+    """Run one bounded execution; ``seed`` must already be normalized.
+
+    The seed passes through ``run_*`` (which builds the default
+    RandomSubset / RandomAsync scheduler from it) instead of a scheduler
+    constructed here, so the seed recorded on the ExecutionResult is the
+    one that actually drove the run and replays it exactly.
+    """
     if model == "FSYNC":
-        return run_fsync(algorithm, grid, tie_break=tie_break, max_steps=max_steps, matcher=matcher)
-    # Pass the seed through run_* (which builds the default RandomSubset /
-    # RandomAsync scheduler from it) instead of constructing the scheduler
-    # here, so the seed recorded on the ExecutionResult is the one that
-    # actually drove the run and replays it exactly.
+        return run_fsync(
+            algorithm, grid, seed=seed, tie_break=tie_break, max_steps=max_steps, matcher=matcher
+        )
     if model == "SSYNC":
         return run_ssync(
-            algorithm, grid, seed=seed or 0, tie_break=tie_break, max_steps=max_steps, matcher=matcher
+            algorithm, grid, seed=seed, tie_break=tie_break, max_steps=max_steps, matcher=matcher
         )
     if model == "ASYNC":
         return run_async(
-            algorithm, grid, seed=seed or 0, tie_break=tie_break, max_steps=max_steps, matcher=matcher
+            algorithm, grid, seed=seed, tie_break=tie_break, max_steps=max_steps, matcher=matcher
         )
     raise VerificationError(f"unknown model {model!r}")
 
@@ -165,7 +174,13 @@ def verify_one(
     ``cache`` (a :class:`~repro.engine.matcher.MatcherCache`) lets repeated
     calls share snapshot/match memo tables — across seeds, models *and*
     grid sizes; the run's own hit/miss delta is recorded on the report.
+
+    ``seed=None`` is normalized to ``0`` *before* the run, and the report
+    records the normalized value: the seed on a
+    :class:`VerificationReport` is always the seed that actually drove the
+    run, so re-running with ``seed=report.seed`` replays it exactly.
     """
+    seed = 0 if seed is None else seed
     grid = Grid(m, n)
     matcher = cache.matcher_for(algorithm, grid) if cache is not None else None
     stats_before = matcher.stats.snapshot() if matcher is not None else None
@@ -225,19 +240,16 @@ class CampaignTask:
     max_steps: Optional[int] = None
 
 
-#: Process-level matcher cache for the worker entry point: a pool worker
-#: executes many tasks over its lifetime, and the translation-invariant
-#: memo tables are valid across every task of the same algorithm — at any
-#: grid size — so the cache persists for the life of the worker process.
-_RUN_TASK_CACHE = MatcherCache()
-
-
 def run_task(task: CampaignTask) -> VerificationReport:
     """Execute one task, resolving its algorithm through the registry.
 
     This is the worker entry point of the parallel engine; it must stay a
     module-level function so ``multiprocessing`` can pickle it.  Matching
-    runs against the process-persistent :data:`_RUN_TASK_CACHE`.
+    runs against the worker's persistent
+    :func:`~repro.engine.pool.process_cache` — the very cache the sharded
+    explorer warms in the same worker, so on a long-lived
+    :class:`~repro.engine.pool.ExplorationPool` campaign tasks and
+    explorations keep each other warm across an entire session.
     """
     from ..algorithms import registry  # local import: avoids a layering cycle
 
@@ -249,7 +261,7 @@ def run_task(task: CampaignTask) -> VerificationReport:
         seed=task.seed,
         tie_break=task.tie_break,
         max_steps=task.max_steps,
-        cache=_RUN_TASK_CACHE,
+        cache=process_cache(),
     )
 
 
@@ -338,17 +350,42 @@ class ParallelCampaignEngine:
     seed in its task, so ``workers=N`` produces reports identical to the
     serial path.  Algorithms are shipped to workers by registry name;
     unregistered (ad-hoc) algorithms fall back to in-process execution.
+
+    ``pool`` — a persistent :class:`~repro.engine.pool.ExplorationPool` —
+    makes the engine execute its task lists on those long-lived workers
+    instead of spawning an ephemeral pool per call: startup is amortised
+    across campaigns, and the workers' matcher caches stay warm from one
+    task list (and from any sharded exploration run on the same pool) to
+    the next.  ``workers`` defaults to the pool's worker count, else to
+    the affinity-aware :func:`~repro.engine.pool.default_workers`.
     """
 
-    def __init__(self, workers: Optional[int] = None, chunksize: int = 4) -> None:
-        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunksize: int = 4,
+        pool: Optional[ExplorationPool] = None,
+    ) -> None:
+        if workers is None:
+            workers = pool.workers if pool is not None else default_workers()
+        self.workers = workers
         self.chunksize = max(1, chunksize)
+        self.pool = pool
 
     # -- execution -----------------------------------------------------
     def run_tasks(self, algorithm: Algorithm, tasks: Sequence[CampaignTask]) -> List[VerificationReport]:
         tasks = list(tasks)
-        if self.workers <= 1 or len(tasks) <= 1 or not self._registered(algorithm):
-            return execute_tasks(algorithm, tasks)
+        # A pool can never offer more parallelism than it has workers.
+        workers = min(self.workers, self.pool.workers) if self.pool is not None else self.workers
+        if workers <= 1 or len(tasks) <= 1 or not registered(algorithm):
+            # In-process fallback; on the pool's coordinator cache when the
+            # engine has one, so serially-routed campaigns stay as warm
+            # across calls as the pooled workers would have been.
+            return execute_tasks(
+                algorithm, tasks, cache=self.pool.cache if self.pool is not None else None
+            )
+        if self.pool is not None:
+            return self.pool.map(run_task, tasks, chunksize=self.chunksize)
         import multiprocessing
 
         # The platform-default start method (fork on Linux, spawn on macOS/
@@ -358,12 +395,6 @@ class ParallelCampaignEngine:
         context = multiprocessing.get_context()
         with context.Pool(processes=min(self.workers, len(tasks))) as pool:
             return pool.map(run_task, tasks, chunksize=self.chunksize)
-
-    @staticmethod
-    def _registered(algorithm: Algorithm) -> bool:
-        from ..algorithms import registry  # local import: avoids a layering cycle
-
-        return registry.all_algorithms().get(algorithm.name) is algorithm
 
     # -- campaign shapes (mirroring the serial entry points) ------------
     def grid_sweep(

@@ -305,20 +305,32 @@ class MatcherCache:
         self._keepalive: Dict[int, Algorithm] = {}
         self._stats: Dict[int, MatcherStats] = {}
 
+    def _register(self, algorithm: Algorithm) -> int:
+        """Pin ``algorithm`` (id() keys must not be recycled) and its stats."""
+        key = id(algorithm)
+        if key not in self._stats:
+            self._keepalive[key] = algorithm
+            self._stats[key] = MatcherStats()
+        return key
+
     def matcher_for(self, algorithm: Algorithm, grid: Grid) -> LocalMatcher:
         """A matcher for ``(algorithm, grid)`` backed by the shared tables."""
-        key = id(algorithm)
+        key = self._register(algorithm)
         tables = self._tables.get(key)
         if tables is None:
             tables = ({}, {}, {}, {})
             self._tables[key] = tables
-            self._keepalive[key] = algorithm  # pin: id() keys must not be recycled
-            self._stats[key] = MatcherStats()
         return LocalMatcher(algorithm, grid, tables=tables, stats=self._stats[key])
 
     def stats_for(self, algorithm: Algorithm) -> MatcherStats:
-        """The (live) counters for one algorithm (zeros if never requested)."""
-        return self._stats.get(id(algorithm), MatcherStats())
+        """The live counters for one algorithm.
+
+        Registers the algorithm on first request, so the returned object is
+        always the same :class:`MatcherStats` instance later matchers from
+        :meth:`matcher_for` will increment — callers may hold it before any
+        matcher exists and never miss a count.
+        """
+        return self._stats[self._register(algorithm)]
 
     @property
     def stats(self) -> MatcherStats:

@@ -1,0 +1,356 @@
+"""Persistent exploration worker pool with process-level matcher caches.
+
+Before this module, every :func:`~repro.engine.sharded.explore_sharded`
+call spawned — and tore down — its own ``multiprocessing`` pool.  Pool
+startup is milliseconds-per-worker of pure overhead, which dominates the
+wall clock below roughly :data:`SERIAL_THRESHOLD` (about 10^4) states, and
+the per-worker :class:`~repro.engine.matcher.MatcherCache`\\ s died with the
+pool: the second exploration of a campaign re-evaluated every guard the
+first one had already memoized.
+
+:class:`ExplorationPool` fixes both at once.  It is one long-lived process
+pool that
+
+* **amortises startup** — workers spawn lazily on the first parallel use
+  and then serve every subsequent exploration *and* campaign task until
+  the pool is closed (it is a context manager);
+* **keeps worker caches warm** — each worker process owns a single
+  :func:`process_cache` (a :class:`~repro.engine.matcher.MatcherCache`)
+  shared by the sharded-exploration expander and the campaign task runner,
+  so guard evaluations memoized during one exploration are served from
+  cache in the next one, at any grid size of the same algorithm;
+* **routes adaptively** — :meth:`ExplorationPool.explore` estimates the
+  state count of the requested exploration and runs it serially (on the
+  pool's own coordinator-side cache, also persistent) when the estimate is
+  below ``serial_threshold``, sharded above; small grids no longer pay any
+  inter-process traffic at all.
+
+Both routes produce byte-identical :class:`~repro.engine.explorer.Exploration`
+objects — same states in the same interned order, same successor rows and
+edge labels, and the same :class:`StateSpaceLimitExceeded` message and
+context when a state budget trips — because the sharded merge replays
+serial BFS order and memoization never changes results.  Only
+``matcher_stats`` reflects the route taken (aggregated per-worker deltas
+when sharded, the coordinator cache's delta when serial).
+
+The worker-side helpers (:func:`process_cache`, :func:`expand_shard`) are
+module-level so ``multiprocessing`` can pickle references to them; their
+mutable state is per-process by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from math import comb
+from typing import Dict, List, Optional, Tuple
+
+from ..core.algorithm import Algorithm
+from ..core.grid import Grid
+from .explorer import Exploration
+from .matcher import MatcherCache
+from .states import SchedulerState
+from .symmetry import GridSymmetry, canonicalize, grid_symmetries
+from .transition import MODELS, AlgorithmTransitionSystem
+
+__all__ = [
+    "ExplorationPool",
+    "SERIAL_THRESHOLD",
+    "default_workers",
+    "estimate_states",
+    "process_cache",
+]
+
+#: Default adaptive-routing threshold: explorations whose estimated state
+#: count falls below this run serially (pool spawn / IPC overhead dominates
+#: there; see ``BENCH_engine.json``), larger ones are sharded.
+SERIAL_THRESHOLD = 10_000
+
+
+def default_workers() -> int:
+    """The default shard/worker count: one per *usable* core.
+
+    ``os.cpu_count()`` reports the machine's cores even when the process is
+    confined to fewer by a cgroup quota or CPU affinity mask (the normal
+    situation in containers), which oversubscribes the pool.  Prefer the
+    scheduling affinity of this process where the platform exposes it.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
+
+
+def registered(algorithm: Algorithm) -> bool:
+    """Whether ``algorithm`` is the registry's object for its name.
+
+    Only registered algorithms can cross a process boundary (rule sets
+    close over lambdas and cannot be pickled; workers re-resolve the name).
+    """
+    from ..algorithms import registry  # local import: avoids a layering cycle
+
+    return registry.all_algorithms().get(algorithm.name) is algorithm
+
+
+def estimate_states(algorithm: Algorithm, grid: Grid, model: str) -> int:
+    """A cheap a-priori estimate of the reachable state count.
+
+    Upper-bound-shaped heuristic, not a count: placements of the
+    algorithm's ``k`` robots on the grid times the color assignments, with
+    a branching multiplier for the richer scheduler state of SSYNC (subset
+    activation) and ASYNC (per-robot Look/Compute/Move phases and stored
+    snapshots).  It only needs to order workloads around
+    :data:`SERIAL_THRESHOLD` — small grids below, state-space-heavy runs
+    above — which it does with orders of magnitude to spare.
+    """
+    nodes = grid.m * grid.n
+    k = min(algorithm.k, nodes)
+    estimate = comb(nodes, k) * (max(len(algorithm.colors), 1) ** k)
+    if model == "SSYNC":
+        estimate *= 4
+    elif model == "ASYNC":
+        estimate *= 32
+    return estimate
+
+
+# ---------------------------------------------------------------------------
+# Worker side (module-level state is per-process by construction)
+# ---------------------------------------------------------------------------
+#: One exploration context, fully picklable: everything a worker needs to
+#: rebuild the transition system it should expand against.
+ExploreKey = Tuple[str, int, int, str, bool]  # (algorithm, m, n, model, reduce)
+
+_PROCESS_CACHE: Optional[MatcherCache] = None
+
+#: Transition systems this process has already configured, keyed by
+#: :data:`ExploreKey` — kept so re-exploring the same workload skips even
+#: the (cheap) system construction.  Bounded; see :data:`_MAX_SYSTEMS`.
+_SYSTEMS: Dict[ExploreKey, Tuple[AlgorithmTransitionSystem, Optional[Tuple[GridSymmetry, ...]]]] = {}
+_MAX_SYSTEMS = 64
+
+
+def process_cache() -> MatcherCache:
+    """This process's persistent :class:`MatcherCache` (created on first use).
+
+    In a pool worker it outlives individual explorations and campaign
+    tasks — both :func:`expand_shard` and
+    :func:`repro.engine.campaign.run_task` match against it — which is what
+    makes a long-lived :class:`ExplorationPool` start every workload after
+    the first warm.  (The memo keys are grid-size independent and keyed on
+    algorithm identity, so sharing across workloads never changes results;
+    see :class:`~repro.engine.matcher.MatcherCache`.)
+    """
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = MatcherCache()
+    return _PROCESS_CACHE
+
+
+def _system(key: ExploreKey) -> Tuple[AlgorithmTransitionSystem, Optional[Tuple[GridSymmetry, ...]]]:
+    """The process-local transition system (+ symmetries) for ``key``."""
+    entry = _SYSTEMS.get(key)
+    if entry is None:
+        from ..algorithms import registry  # local import: workers re-import lazily
+
+        name, m, n, model, reduce_ = key
+        algorithm = registry.get(name)
+        grid = Grid(m, n)
+        ts = AlgorithmTransitionSystem(
+            algorithm, grid, model, matcher=process_cache().matcher_for(algorithm, grid)
+        )
+        symmetries = grid_symmetries(grid, algorithm.chirality) if reduce_ else ()
+        entry = (ts, symmetries if reduce_ and len(symmetries) > 1 else None)
+        while len(_SYSTEMS) >= _MAX_SYSTEMS:  # matcher tables persist either way
+            _SYSTEMS.pop(next(iter(_SYSTEMS)))
+        _SYSTEMS[key] = entry
+    return entry
+
+
+#: One expanded row: a state's canonicalised successors, each paired with
+#: the name of the witnessing symmetry (``None`` for identity/unreduced).
+Row = List[Tuple[SchedulerState, Optional[str]]]
+
+
+def expand_shard(payload: Tuple[ExploreKey, List[SchedulerState]]) -> Tuple[List[Row], Tuple[int, int]]:
+    """Expand one shard's slice of a BFS wave; the worker map function.
+
+    The payload carries the exploration context so one long-lived pool can
+    serve any sequence of workloads; reconfiguration is a dict hit when the
+    context repeats.  Returns the successor rows in input order plus the
+    matcher hit/miss delta this batch generated (aggregated by the
+    coordinator into ``Exploration.matcher_stats``).
+    """
+    key, states = payload
+    ts, symmetries = _system(key)
+    stats_before = ts.matcher.stats.snapshot()
+    rows: List[Row] = []
+    for state in states:
+        row: Row = []
+        for raw in ts.successors(state):
+            if symmetries is not None:
+                rep, h = canonicalize(raw, symmetries)
+                row.append((rep, None if h is None else h.name))
+            else:
+                row.append((raw, None))
+        rows.append(row)
+    delta = ts.matcher.stats.delta_since(stats_before)
+    return rows, (delta.hits, delta.misses)
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+class ExplorationPool:
+    """One long-lived worker pool for explorations and campaign tasks.
+
+    Use as a context manager (or call :meth:`close` explicitly)::
+
+        with ExplorationPool(workers=4) as pool:
+            first = check_terminating_exploration(alg, grid, model="FSYNC", pool=pool)
+            second = check_terminating_exploration(alg, grid, model="SSYNC", pool=pool)
+            reports = ParallelCampaignEngine(pool=pool).grid_sweep(alg)
+
+    The underlying process pool spawns lazily on the first sharded-routed
+    workload and is reused by every later one — explorations (any
+    algorithm/grid/model mix) and campaign task lists alike — so startup is
+    paid at most once and each worker's :func:`process_cache` stays warm
+    across workloads.  Serial-routed work runs in the calling process on
+    :attr:`cache`, the pool's equally persistent coordinator-side
+    :class:`MatcherCache`.
+
+    ``serial_threshold`` tunes the adaptive routing of :meth:`explore`
+    (estimated states below it run serially); pass ``0`` to force sharding,
+    or a very large value to pin everything serial.  Routing, sharding and
+    caching never change results — see the module docstring.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        serial_threshold: int = SERIAL_THRESHOLD,
+    ) -> None:
+        self.workers = workers if workers is not None else default_workers()
+        self.serial_threshold = serial_threshold
+        #: Coordinator-side cache backing serial-routed explorations (and the
+        #: serial fallbacks of ``explore_sharded(pool=...)``); persists for
+        #: the life of the pool, like the workers' :func:`process_cache`.
+        self.cache = MatcherCache()
+        self._pool = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether worker processes have actually been spawned yet."""
+        return self._pool is not None
+
+    def _ensure_pool(self):
+        if self._closed:
+            raise RuntimeError("ExplorationPool is closed")
+        if self._pool is None and self.workers > 1:
+            import multiprocessing
+
+            # Platform-default start method, as elsewhere in the engine:
+            # everything shipped is picklable and workers re-import lazily,
+            # and forcing fork on macOS can deadlock threaded parents.
+            context = multiprocessing.get_context()
+            self._pool = context.Pool(processes=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the workers down; the pool cannot be used afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ExplorationPool":
+        if self._closed:
+            raise RuntimeError("ExplorationPool is closed")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------
+    def map(self, fn, iterable, chunksize: int = 1) -> list:
+        """``pool.map`` on the persistent workers.
+
+        Workers spawn lazily, and only when there is work to ship.  On a
+        one-worker pool the items run in the calling process instead; note
+        that worker functions like ``expand_shard``/``run_task`` then warm
+        this process's :func:`process_cache`, not :attr:`cache` — the
+        library's own routes avoid that by clamping to the pool's worker
+        count and taking the serial route (which *does* use :attr:`cache`)
+        whenever the pool cannot actually parallelize.
+        """
+        items = list(iterable)
+        if not items:
+            return []
+        pool = self._ensure_pool()
+        if pool is None:
+            return [fn(item) for item in items]
+        return pool.map(fn, items, chunksize=chunksize)
+
+    def explore(
+        self,
+        algorithm: Algorithm,
+        grid: Grid,
+        model: str,
+        *,
+        symmetry_reduction: bool = False,
+        max_states: int = 200_000,
+        start: Optional[SchedulerState] = None,
+    ) -> Exploration:
+        """Explore with adaptive routing; identical to the serial explorer.
+
+        Runs serially — in this process, on :attr:`cache` — when the
+        workload is too small for sharding to pay (estimated states below
+        ``serial_threshold``), when the pool has one worker, or when the
+        algorithm cannot cross a process boundary; shards over the
+        persistent workers otherwise.  Either way the ``Exploration`` is
+        byte-identical to ``explore(AlgorithmTransitionSystem(...))`` with
+        the same arguments, including ``StateSpaceLimitExceeded`` context
+        on a tripped budget; ``matcher_stats`` reports the route's cache
+        counters.
+        """
+        if model not in MODELS:
+            raise ValueError(f"unknown model {model!r}")
+        if self._closed:
+            raise RuntimeError("ExplorationPool is closed")
+        from .sharded import explore_sharded  # local import: avoids a module cycle
+
+        serial = (
+            self.workers <= 1
+            or not registered(algorithm)
+            or estimate_states(algorithm, grid, model) < self.serial_threshold
+        )
+        if serial:
+            # workers=1 takes explore_sharded's serial fallback — the one
+            # shared implementation of the cache-backed serial route — on
+            # this pool's persistent coordinator cache.
+            return explore_sharded(
+                algorithm,
+                grid,
+                model,
+                workers=1,
+                symmetry_reduction=symmetry_reduction,
+                max_states=max_states,
+                start=start,
+                cache=self.cache,
+            )
+        return explore_sharded(
+            algorithm,
+            grid,
+            model,
+            workers=self.workers,
+            symmetry_reduction=symmetry_reduction,
+            max_states=max_states,
+            start=start,
+            pool=self,
+        )

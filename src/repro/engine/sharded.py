@@ -14,11 +14,10 @@ frontier over a ``multiprocessing`` pool, wave by wave:
    disjoint and statistically balanced.
 2. **Expand.** Every worker expands its shard with a process-local
    :class:`~repro.engine.transition.AlgorithmTransitionSystem` whose
-   matcher is backed by a per-worker
-   :class:`~repro.engine.matcher.MatcherCache` — the pool lives for the
-   whole exploration, so worker caches stay warm across waves.  When
-   ``symmetry_reduction`` is on, workers canonicalise their raw successors
-   locally and label each edge with the *name* of the witnessing symmetry.
+   matcher is backed by the worker's persistent
+   :func:`~repro.engine.pool.process_cache`.  When ``symmetry_reduction``
+   is on, workers canonicalise their raw successors locally and label each
+   edge with the *name* of the witnessing symmetry.
 3. **Exchange & merge.** Successor rows — ``(canonical state, symmetry
    name)`` pairs, the only cross-shard traffic — come back to the
    coordinator, which replays them in serial BFS order: states are
@@ -29,107 +28,43 @@ frontier over a ``multiprocessing`` pool, wave by wave:
    tripped state budget raises :class:`StateSpaceLimitExceeded` with the
    exact context — message included — the serial explorer would produce.
 
+By default each call spawns an ephemeral pool that lives for the one
+exploration (worker caches stay warm across its waves).  Pass ``pool=`` —
+a long-lived :class:`~repro.engine.pool.ExplorationPool` — to reuse
+already-spawned workers instead: startup is amortised across explorations
+and the per-worker caches survive from one workload to the next.
+
 Cached ``SchedulerState`` hashes never cross the process boundary (string
 hashing is per-process randomized; see ``SchedulerState.__getstate__``), so
 shipped states intern correctly next to locally created ones.
 
 Algorithms are shipped to workers by registry name (rule sets close over
 lambdas and cannot be pickled); unregistered ad-hoc algorithms, and
-``workers <= 1``, fall back to the serial explorer, which produces the same
-``Exploration`` by construction.
+``workers <= 1``, fall back to the serial explorer — on the caller's
+``cache=`` (or the pool's coordinator cache) when one is supplied, so the
+fallback stays exactly as warm as the serial path would have been.
 """
 
 from __future__ import annotations
 
-import os
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import StateSpaceLimitExceeded
 from ..core.grid import Grid
 from ..core.algorithm import Algorithm
 from .explorer import Exploration, explore
 from .matcher import MatcherCache, MatcherStats
+from .pool import ExploreKey, ExplorationPool, default_workers, expand_shard, registered
 from .states import SchedulerState, initial_state
 from .symmetry import GridSymmetry, canonicalize, grid_symmetries
 from .transition import MODELS, AlgorithmTransitionSystem
 
 __all__ = ["explore_sharded", "default_workers"]
 
-
-def default_workers() -> int:
-    """The default shard count: one per core."""
-    return os.cpu_count() or 1
+#: A shard expansion round: payloads in, ``(rows, (hits, misses))`` out.
+_MapFn = Callable[[Sequence[Tuple[ExploreKey, List[SchedulerState]]]], list]
 
 
-def _registered(algorithm: Algorithm) -> bool:
-    from ..algorithms import registry  # local import: avoids a layering cycle
-
-    return registry.all_algorithms().get(algorithm.name) is algorithm
-
-
-# ---------------------------------------------------------------------------
-# Worker side
-# ---------------------------------------------------------------------------
-#: Per-process worker context: (transition system, symmetries-or-None).
-_WORKER: Optional[Tuple[AlgorithmTransitionSystem, Optional[Tuple[GridSymmetry, ...]]]] = None
-
-#: Per-process matcher cache — persistent across all waves of the
-#: exploration the pool was created for.  (Each ``explore_sharded`` call
-#: currently creates its own pool, so the cache does not yet survive into
-#: the next exploration; keeping one pool alive across a campaign's checks
-#: is a ROADMAP item.)
-_WORKER_CACHE: Optional[MatcherCache] = None
-
-
-def _init_worker(name: str, m: int, n: int, model: str, symmetry_reduction: bool) -> None:
-    """Pool initializer: build the per-process transition system once."""
-    global _WORKER, _WORKER_CACHE
-    from ..algorithms import registry  # local import: workers re-import lazily
-
-    algorithm = registry.get(name)
-    grid = Grid(m, n)
-    if _WORKER_CACHE is None:
-        _WORKER_CACHE = MatcherCache()
-    ts = AlgorithmTransitionSystem(
-        algorithm, grid, model, matcher=_WORKER_CACHE.matcher_for(algorithm, grid)
-    )
-    symmetries = grid_symmetries(grid, algorithm.chirality) if symmetry_reduction else ()
-    _WORKER = (ts, symmetries if len(symmetries) > 1 and symmetry_reduction else None)
-
-
-#: One expanded row: the state's canonicalised successors, each paired with
-#: the name of the symmetry ``h`` such that ``raw = h(rep)`` (``None`` for
-#: the identity / unreduced explorations).
-_Row = List[Tuple[SchedulerState, Optional[str]]]
-
-
-def _expand_shard(states: List[SchedulerState]) -> Tuple[List[_Row], Tuple[int, int]]:
-    """Expand one shard's slice of the wave; the worker map function.
-
-    Returns the successor rows in input order plus the matcher hit/miss
-    delta this batch generated (aggregated by the coordinator into
-    ``Exploration.matcher_stats``).
-    """
-    assert _WORKER is not None, "worker used before initialization"
-    ts, symmetries = _WORKER
-    stats_before = ts.matcher.stats.snapshot()
-    rows: List[_Row] = []
-    for state in states:
-        row: _Row = []
-        for raw in ts.successors(state):
-            if symmetries is not None:
-                rep, h = canonicalize(raw, symmetries)
-                row.append((rep, None if h is None else h.name))
-            else:
-                row.append((raw, None))
-        rows.append(row)
-    delta = ts.matcher.stats.delta_since(stats_before)
-    return rows, (delta.hits, delta.misses)
-
-
-# ---------------------------------------------------------------------------
-# Coordinator side
-# ---------------------------------------------------------------------------
 def explore_sharded(
     algorithm: Algorithm,
     grid: Grid,
@@ -139,6 +74,8 @@ def explore_sharded(
     symmetry_reduction: bool = False,
     max_states: int = 200_000,
     start: Optional[SchedulerState] = None,
+    cache: Optional[MatcherCache] = None,
+    pool: Optional[ExplorationPool] = None,
 ) -> Exploration:
     """Build the reachable successor graph with a sharded process pool.
 
@@ -150,21 +87,79 @@ def explore_sharded(
     and message included.  Only ``matcher_stats`` differs (it aggregates
     the per-worker caches).
 
-    Falls back to the serial explorer when ``workers <= 1`` or when the
-    algorithm is not in the registry (its rules cannot cross the process
-    boundary).
+    ``pool`` reuses a persistent :class:`~repro.engine.pool.ExplorationPool`
+    instead of spawning an ephemeral one (``workers`` defaults to the
+    pool's worker count).  Falls back to the serial explorer when
+    ``workers <= 1`` or when the algorithm is not in the registry (its
+    rules cannot cross the process boundary); the fallback runs on
+    ``cache`` — or, absent that, the pool's coordinator cache — so a
+    caller-supplied cache is honoured on every route.
     """
     if model not in MODELS:
         raise ValueError(f"unknown model {model!r}")
-    workers = workers if workers is not None else default_workers()
-    if workers <= 1 or not _registered(algorithm):
-        ts = AlgorithmTransitionSystem(algorithm, grid, model)
+    if pool is not None:
+        # Never ask a pool for more parallelism than it has: a one-worker
+        # pool routes serially (onto its coordinator cache) rather than
+        # pretending to shard in-process.
+        workers = pool.workers if workers is None else min(workers, pool.workers)
+    elif workers is None:
+        workers = default_workers()
+    if workers <= 1 or not registered(algorithm):
+        if cache is None and pool is not None:
+            cache = pool.cache
+        matcher = cache.matcher_for(algorithm, grid) if cache is not None else None
+        ts = AlgorithmTransitionSystem(algorithm, grid, model, matcher=matcher)
         return explore(
             ts, symmetry_reduction=symmetry_reduction, max_states=max_states, start=start
         )
 
+    key: ExploreKey = (algorithm.name, grid.m, grid.n, model, symmetry_reduction)
+
+    if pool is not None:
+        return _sharded_exploration(
+            algorithm,
+            grid,
+            model,
+            key,
+            lambda payloads: pool.map(expand_shard, payloads),
+            workers=workers,
+            symmetry_reduction=symmetry_reduction,
+            max_states=max_states,
+            start=start,
+        )
+
     import multiprocessing
 
+    # The platform-default start method, for the same reason as the campaign
+    # engine: everything shipped is picklable and workers re-import lazily.
+    context = multiprocessing.get_context()
+    with context.Pool(processes=workers) as ephemeral:
+        return _sharded_exploration(
+            algorithm,
+            grid,
+            model,
+            key,
+            lambda payloads: ephemeral.map(expand_shard, payloads),
+            workers=workers,
+            symmetry_reduction=symmetry_reduction,
+            max_states=max_states,
+            start=start,
+        )
+
+
+def _sharded_exploration(
+    algorithm: Algorithm,
+    grid: Grid,
+    model: str,
+    key: ExploreKey,
+    map_shards: _MapFn,
+    *,
+    workers: int,
+    symmetry_reduction: bool,
+    max_states: int,
+    start: Optional[SchedulerState],
+) -> Exploration:
+    """The coordinator: partition waves, fan out via ``map_shards``, merge."""
     symmetries = grid_symmetries(grid, algorithm.chirality) if symmetry_reduction else ()
     reduce = symmetry_reduction and len(symmetries) > 1
     # Workers ship edge labels as symmetry *names*; resolve them to the very
@@ -188,74 +183,66 @@ def explore_sharded(
     edge_syms: Optional[List[List[Optional[GridSymmetry]]]] = [] if reduce else None
     total_stats = MatcherStats()
 
-    # The platform-default start method, for the same reason as the campaign
-    # engine: everything shipped is picklable and workers re-import lazily.
-    context = multiprocessing.get_context()
-    with context.Pool(
-        processes=workers,
-        initializer=_init_worker,
-        initargs=(algorithm.name, grid.m, grid.n, model, symmetry_reduction),
-    ) as pool:
-        wave: List[int] = [0]
-        while wave:
-            # -- partition the wave by canonical-state hash ---------------
-            shards: List[List[SchedulerState]] = [[] for _ in range(workers)]
-            placement: List[Tuple[int, int]] = []  # wave position -> (shard, slot)
-            for state_index in wave:
-                state = states[state_index]
-                shard = hash(state) % workers
-                placement.append((shard, len(shards[shard])))
-                shards[shard].append(state)
+    wave: List[int] = [0]
+    while wave:
+        # -- partition the wave by canonical-state hash ---------------
+        shards: List[List[SchedulerState]] = [[] for _ in range(workers)]
+        placement: List[Tuple[int, int]] = []  # wave position -> (shard, slot)
+        for state_index in wave:
+            state = states[state_index]
+            shard = hash(state) % workers
+            placement.append((shard, len(shards[shard])))
+            shards[shard].append(state)
 
-            # -- expand every non-empty shard in parallel -----------------
-            occupied = [shard for shard in range(workers) if shards[shard]]
-            results = pool.map(_expand_shard, [shards[shard] for shard in occupied])
-            rows_by_shard: Dict[int, List[_Row]] = {}
-            for shard, (rows, (hits, misses)) in zip(occupied, results):
-                rows_by_shard[shard] = rows
-                total_stats.merge(MatcherStats(hits, misses))
+        # -- expand every non-empty shard in parallel -----------------
+        occupied = [shard for shard in range(workers) if shards[shard]]
+        results = map_shards([(key, shards[shard]) for shard in occupied])
+        rows_by_shard: Dict[int, list] = {}
+        for shard, (rows, (hits, misses)) in zip(occupied, results):
+            rows_by_shard[shard] = rows
+            total_stats.merge(MatcherStats(hits, misses))
 
-            # -- merge in serial BFS order --------------------------------
-            # Waves visit states in interned order and successors are
-            # interned row by row, which is exactly the serial explorer's
-            # FIFO discovery sequence — so indices, rows and the budget trip
-            # point all coincide with the serial run.
-            next_wave: List[int] = []
-            for wave_position, current in enumerate(wave):
-                assert current == len(succ)
-                shard, slot = placement[wave_position]
-                row_states = rows_by_shard[shard][slot]
-                row: List[int] = []
-                row_syms: List[Optional[GridSymmetry]] = []
-                for rep, sym_name in row_states:
-                    child = index.get(rep)
-                    if child is None:
-                        child = len(states)
-                        if child >= max_states:
-                            frontier_size = len(states) - len(succ) - 1
-                            raise StateSpaceLimitExceeded(
-                                f"{algorithm.name} on {grid.m}x{grid.n} [{model}]:"
-                                f" state budget of {max_states} exceeded after expanding"
-                                f" {len(succ)} states ({len(states)} discovered,"
-                                f" frontier size {frontier_size}"
-                                + (", symmetry reduction on)" if reduce else ")"),
-                                algorithm=algorithm.name,
-                                model=model,
-                                max_states=max_states,
-                                states_explored=len(succ),
-                                frontier_size=frontier_size,
-                            )
-                        index[rep] = child
-                        states.append(rep)
-                        next_wave.append(child)
-                    row.append(child)
-                    if reduce:
-                        row_syms.append(None if sym_name is None else sym_by_name[sym_name])
-                succ.append(row)
+        # -- merge in serial BFS order --------------------------------
+        # Waves visit states in interned order and successors are
+        # interned row by row, which is exactly the serial explorer's
+        # FIFO discovery sequence — so indices, rows and the budget trip
+        # point all coincide with the serial run.
+        next_wave: List[int] = []
+        for wave_position, current in enumerate(wave):
+            assert current == len(succ)
+            shard, slot = placement[wave_position]
+            row_states = rows_by_shard[shard][slot]
+            row: List[int] = []
+            row_syms: List[Optional[GridSymmetry]] = []
+            for rep, sym_name in row_states:
+                child = index.get(rep)
+                if child is None:
+                    child = len(states)
+                    if child >= max_states:
+                        frontier_size = len(states) - len(succ) - 1
+                        raise StateSpaceLimitExceeded(
+                            f"{algorithm.name} on {grid.m}x{grid.n} [{model}]:"
+                            f" state budget of {max_states} exceeded after expanding"
+                            f" {len(succ)} states ({len(states)} discovered,"
+                            f" frontier size {frontier_size}"
+                            + (", symmetry reduction on)" if reduce else ")"),
+                            algorithm=algorithm.name,
+                            model=model,
+                            max_states=max_states,
+                            states_explored=len(succ),
+                            frontier_size=frontier_size,
+                        )
+                    index[rep] = child
+                    states.append(rep)
+                    next_wave.append(child)
+                row.append(child)
                 if reduce:
-                    assert edge_syms is not None
-                    edge_syms.append(row_syms)
-            wave = next_wave
+                    row_syms.append(None if sym_name is None else sym_by_name[sym_name])
+            succ.append(row)
+            if reduce:
+                assert edge_syms is not None
+                edge_syms.append(row_syms)
+        wave = next_wave
 
     return Exploration(
         model=model,

@@ -16,18 +16,22 @@ job of :mod:`repro.checking`; the campaigns here scale to larger grids.
 The execution machinery lives in the engine kernel
 (:mod:`repro.engine.campaign`): every campaign is a flat list of
 independent :class:`~repro.engine.campaign.CampaignTask` work items, run
-here serially.  The same task lists can be fanned across a process pool —
-with byte-identical reports — through
-:class:`~repro.engine.campaign.ParallelCampaignEngine`, re-exported here.
+here serially by default.  The same task lists can be fanned across a
+process pool — with byte-identical reports — through
+:class:`~repro.engine.campaign.ParallelCampaignEngine`, re-exported here;
+passing ``pool=`` (a persistent
+:class:`~repro.engine.pool.ExplorationPool`) to any campaign below runs
+its tasks on those long-lived, cache-warm workers instead.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.algorithm import Algorithm
 from ..core.simulator import TieBreak
 from ..engine.campaign import (
+    CampaignTask,
     GridSweepReport,
     ParallelCampaignEngine,
     VerificationReport,
@@ -36,6 +40,7 @@ from ..engine.campaign import (
     stress_test_tasks,
     verify_one,
 )
+from ..engine.pool import ExplorationPool
 from ..engine.suites import default_grid_suite
 
 __all__ = [
@@ -63,16 +68,35 @@ def verify_terminating_exploration(
     return verify_one(algorithm, m, n, model=model, seed=seed, tie_break=tie_break, max_steps=max_steps)
 
 
+def _run_campaign(
+    algorithm: Algorithm,
+    tasks: List[CampaignTask],
+    pool: Optional[ExplorationPool],
+) -> GridSweepReport:
+    """Run a task list serially, or on a persistent pool when one is given.
+
+    The two paths produce byte-identical reports (every run is a pure
+    function of its task), so ``pool=`` is purely a throughput/cache-reuse
+    decision: pooled campaigns share the pool's long-lived workers — and
+    their warm matcher caches — with every other workload on the pool.
+    """
+    if pool is not None:
+        engine = ParallelCampaignEngine(pool=pool)
+        return GridSweepReport(algorithm=algorithm.name, reports=engine.run_tasks(algorithm, tasks))
+    return GridSweepReport(algorithm=algorithm.name, reports=execute_tasks(algorithm, tasks))
+
+
 def grid_sweep(
     algorithm: Algorithm,
     sizes: Optional[Iterable[Tuple[int, int]]] = None,
     model: str = "FSYNC",
     seed: Optional[int] = None,
     tie_break: str = TieBreak.ERROR,
+    pool: Optional[ExplorationPool] = None,
 ) -> GridSweepReport:
     """Verify terminating exploration over a family of grid sizes."""
     tasks = grid_sweep_tasks(algorithm, sizes=sizes, model=model, seed=seed, tie_break=tie_break)
-    return GridSweepReport(algorithm=algorithm.name, reports=execute_tasks(algorithm, tasks))
+    return _run_campaign(algorithm, tasks, pool)
 
 
 def stress_test(
@@ -81,24 +105,26 @@ def stress_test(
     models: Sequence[str] = ("SSYNC", "ASYNC"),
     seeds: Sequence[int] = tuple(range(10)),
     tie_break: str = TieBreak.FIRST,
+    pool: Optional[ExplorationPool] = None,
 ) -> GridSweepReport:
     """Randomized-scheduler campaign for the SSYNC/ASYNC algorithms."""
     tasks = stress_test_tasks(algorithm, sizes=sizes, models=models, seeds=seeds, tie_break=tie_break)
-    return GridSweepReport(algorithm=algorithm.name, reports=execute_tasks(algorithm, tasks))
+    return _run_campaign(algorithm, tasks, pool)
 
 
 def verify_algorithm(
     algorithm: Algorithm,
     sizes: Optional[Iterable[Tuple[int, int]]] = None,
     seeds: Sequence[int] = tuple(range(5)),
+    pool: Optional[ExplorationPool] = None,
 ) -> GridSweepReport:
     """The full campaign appropriate for an algorithm's claimed model.
 
     FSYNC algorithms get a deterministic FSYNC sweep; ASYNC algorithms
     additionally get randomized SSYNC and ASYNC stress runs.
     """
-    report = grid_sweep(algorithm, sizes=sizes, model="FSYNC")
+    report = grid_sweep(algorithm, sizes=sizes, model="FSYNC", pool=pool)
     if algorithm.synchrony == "ASYNC":
-        stress = stress_test(algorithm, sizes=sizes, seeds=seeds)
+        stress = stress_test(algorithm, sizes=sizes, seeds=seeds, pool=pool)
         report.reports.extend(stress.reports)
     return report

@@ -1,0 +1,378 @@
+"""Tests for the persistent exploration pool and the cache-plumbing fixes."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.algorithms import get
+from repro.checking import check_terminating_exploration, enumerate_reachable, explore_state_space
+from repro.core import Algorithm, G, Grid, Synchrony, W, occ
+from repro.core.errors import StateSpaceLimitExceeded
+from repro.core.rules import Guard, Rule
+from repro.engine import (
+    AlgorithmTransitionSystem,
+    ExplorationPool,
+    MatcherCache,
+    ParallelCampaignEngine,
+    default_workers,
+    estimate_states,
+    explore,
+    explore_sharded,
+    verify_one,
+)
+from repro.verification import grid_sweep
+
+
+def _serial(algorithm, grid, model, **kwargs):
+    return explore(AlgorithmTransitionSystem(algorithm, grid, model), **kwargs)
+
+
+def _adhoc_algorithm(name="adhoc_pool_test"):
+    rules = (
+        Rule("R1", G, Guard.build(1, E=occ(W)), G, "E"),
+        Rule("R2", W, Guard.build(1, W=occ(G)), W, None),
+    )
+    return Algorithm(
+        name=name,
+        synchrony=Synchrony.FSYNC,
+        phi=1,
+        colors=(G, W),
+        chirality=True,
+        k=2,
+        rules=rules,
+        initial_placement=lambda m, n: [((0, 0), G), ((0, 1), W)],
+        min_m=1,
+        min_n=3,
+    )
+
+
+def _assert_same_exploration(actual, expected):
+    assert actual.num_states == expected.num_states
+    assert actual.states == expected.states  # same states in the same interned order
+    assert actual.succ == expected.succ
+    assert actual.index == expected.index
+    assert actual.reduced == expected.reduced
+    assert actual.edge_syms == expected.edge_syms
+    assert actual.root_sym is expected.root_sym
+
+
+# ---------------------------------------------------------------------------
+# Pooled exploration: parity and routing
+# ---------------------------------------------------------------------------
+class TestPooledParity:
+    """Acceptance: pooled explorations are byte-identical to serial ones."""
+
+    @pytest.mark.parametrize(
+        "name,m,n,model",
+        [
+            ("fsync_phi2_l2_chir_k2", 4, 4, "FSYNC"),
+            ("fsync_phi2_l2_chir_k2", 4, 4, "SSYNC"),
+            ("async_phi2_l3_chir_k2", 3, 4, "ASYNC"),
+        ],
+    )
+    @pytest.mark.parametrize("symmetry_reduction", [False, True])
+    def test_sharded_route_matches_serial(self, name, m, n, model, symmetry_reduction):
+        algorithm = get(name)
+        grid = Grid(m, n)
+        serial = _serial(algorithm, grid, model, symmetry_reduction=symmetry_reduction)
+        with ExplorationPool(workers=2, serial_threshold=0) as pool:
+            pooled = pool.explore(
+                algorithm, grid, model, symmetry_reduction=symmetry_reduction
+            )
+        _assert_same_exploration(pooled, serial)
+
+    def test_serial_route_matches_serial_without_spawning(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(3, 3)
+        serial = _serial(algorithm, grid, "FSYNC")
+        with ExplorationPool(workers=2) as pool:  # default threshold: 3x3 routes serial
+            pooled = pool.explore(algorithm, grid, "FSYNC")
+            assert not pool.started  # no worker processes were ever spawned
+        _assert_same_exploration(pooled, serial)
+
+    def test_budget_trip_context_identical_on_the_sharded_route(self):
+        algorithm = get("fsync_phi2_l2_nochir_k3")
+        grid = Grid(8, 8)
+        with pytest.raises(StateSpaceLimitExceeded) as serial_info:
+            _serial(algorithm, grid, "SSYNC", max_states=100)
+        with ExplorationPool(workers=2, serial_threshold=0) as pool:
+            with pytest.raises(StateSpaceLimitExceeded) as pooled_info:
+                pool.explore(algorithm, grid, "SSYNC", max_states=100)
+        serial, pooled = serial_info.value, pooled_info.value
+        assert str(pooled) == str(serial)
+        assert pooled.algorithm == serial.algorithm
+        assert pooled.model == serial.model
+        assert pooled.max_states == serial.max_states
+        assert pooled.states_explored == serial.states_explored
+        assert pooled.frontier_size == serial.frontier_size
+
+    def test_budget_trip_context_identical_on_the_serial_route(self):
+        algorithm = get("fsync_phi2_l2_nochir_k3")
+        grid = Grid(8, 8)
+        with pytest.raises(StateSpaceLimitExceeded) as serial_info:
+            _serial(algorithm, grid, "SSYNC", max_states=100)
+        with ExplorationPool(workers=2, serial_threshold=10**12) as pool:
+            with pytest.raises(StateSpaceLimitExceeded) as pooled_info:
+                pool.explore(algorithm, grid, "SSYNC", max_states=100)
+            assert not pool.started
+        assert str(pooled_info.value) == str(serial_info.value)
+
+    def test_checking_entry_points_accept_pool(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(4, 4)
+        serial_graph = explore_state_space(algorithm, grid, model="SSYNC")
+        serial_check = check_terminating_exploration(algorithm, grid, model="SSYNC")
+        with ExplorationPool(workers=2, serial_threshold=0) as pool:
+            assert explore_state_space(algorithm, grid, model="SSYNC", pool=pool) == serial_graph
+            assert enumerate_reachable(algorithm, grid, model="SSYNC", pool=pool) == len(serial_graph)
+            pooled_check = check_terminating_exploration(algorithm, grid, model="SSYNC", pool=pool)
+        assert pooled_check == serial_check  # CheckResult equality ignores matcher_stats
+        assert pooled_check.matcher_stats is not None
+
+    def test_unregistered_algorithm_routes_serial_on_the_pool_cache(self):
+        adhoc = _adhoc_algorithm()
+        grid = Grid(1, 3)
+        serial = _serial(adhoc, grid, "FSYNC", max_states=500)
+        with ExplorationPool(workers=4, serial_threshold=0) as pool:
+            pooled = pool.explore(adhoc, grid, "FSYNC", max_states=500)
+            assert not pool.started  # cannot cross the process boundary
+            assert pool.cache.stats_for(adhoc).lookups > 0  # ran on the pool's cache
+        _assert_same_exploration(pooled, serial)
+
+    def test_explicit_workers_clamped_to_pool_capacity(self):
+        """A one-worker pool routes serial — on its cache — even if the
+        caller asks for more shards than the pool has workers."""
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(3, 3)
+        with ExplorationPool(workers=1) as pool:
+            result = explore_sharded(algorithm, grid, "FSYNC", workers=4, pool=pool)
+            assert not pool.started
+            assert pool.cache.stats_for(algorithm).lookups > 0
+        _assert_same_exploration(result, _serial(algorithm, grid, "FSYNC"))
+
+    def test_closed_pool_refuses_work(self):
+        pool = ExplorationPool(workers=2)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.explore(get("fsync_phi2_l2_chir_k2"), Grid(3, 3), "FSYNC")
+        pool.close()  # idempotent
+
+
+class TestPoolCachePersistence:
+    """Acceptance: caches survive across explorations on one pool."""
+
+    def test_cross_exploration_reuse_on_the_sharded_route(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(4, 4)
+        with ExplorationPool(workers=2, serial_threshold=0) as pool:
+            first = pool.explore(algorithm, grid, "FSYNC")
+            second = pool.explore(algorithm, grid, "FSYNC")
+        _assert_same_exploration(second, first)
+        assert first.matcher_stats["misses"] > 0  # cold workers evaluated guards
+        # The same workers serve the second exploration, so its lookups hit
+        # the patterns memoized during the first one.
+        assert second.matcher_stats["hits"] > 0
+        assert second.matcher_stats["misses"] < first.matcher_stats["misses"]
+
+    def test_cross_exploration_reuse_on_the_serial_route(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(3, 3)
+        with ExplorationPool(workers=2) as pool:  # 3x3 routes serial
+            first = pool.explore(algorithm, grid, "FSYNC")
+            second = pool.explore(algorithm, grid, "FSYNC")
+        assert first.matcher_stats["misses"] > 0
+        # The coordinator cache persists deterministically: the re-run pays
+        # zero guard evaluations.
+        assert second.matcher_stats["misses"] == 0
+        assert second.matcher_stats["hit_rate"] == 1.0
+
+    def test_cache_reuse_spans_grid_sizes_and_models(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        with ExplorationPool(workers=2) as pool:
+            pool.explore(algorithm, Grid(3, 3), "FSYNC")
+            pool.explore(algorithm, Grid(3, 4), "FSYNC")
+            third = pool.explore(algorithm, Grid(4, 4), "SSYNC")
+        # Patterns learned at other sizes (and under FSYNC) serve the new
+        # size/model: the matcher keys are grid-size and model independent.
+        assert third.matcher_stats["hits"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Campaigns on the pool
+# ---------------------------------------------------------------------------
+class TestCampaignsOnThePool:
+    def test_engine_on_pool_reports_identical_to_serial(self):
+        algorithm = get("fsync_phi1_l2_chir_k3")
+        serial = grid_sweep(algorithm)
+        with ExplorationPool(workers=2) as pool:
+            pooled = ParallelCampaignEngine(pool=pool).grid_sweep(algorithm)
+        assert pooled.reports == serial.reports
+        assert [str(r) for r in pooled.reports] == [str(r) for r in serial.reports]
+
+    def test_engine_defaults_to_pool_worker_count(self):
+        with ExplorationPool(workers=3) as pool:
+            assert ParallelCampaignEngine(pool=pool).workers == 3
+
+    def test_engine_workers_clamped_to_pool_capacity(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        with ExplorationPool(workers=1) as pool:
+            engine = ParallelCampaignEngine(workers=4, pool=pool)
+            report = engine.grid_sweep(algorithm, sizes=[(3, 3), (4, 4)])
+            assert not pool.started  # ran in-process, on the pool's cache
+            assert pool.cache.stats_for(algorithm).lookups > 0
+        assert report.ok
+
+    def test_grid_sweep_accepts_pool(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        sizes = [(3, 3), (3, 4), (4, 4)]
+        serial = grid_sweep(algorithm, sizes=sizes)
+        with ExplorationPool(workers=2) as pool:
+            pooled = grid_sweep(algorithm, sizes=sizes, pool=pool)
+        assert pooled.reports == serial.reports
+
+    def test_serial_fallback_campaign_runs_on_the_pool_cache(self):
+        """A one-worker pool still gives campaigns persistent cache reuse."""
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        sizes = [(3, 3), (4, 4)]
+        with ExplorationPool(workers=1) as pool:
+            first = grid_sweep(algorithm, sizes=sizes, pool=pool)
+            assert pool.cache.stats_for(algorithm).lookups > 0
+            second = grid_sweep(algorithm, sizes=sizes, pool=pool)
+        assert second.reports == first.reports
+        # The second campaign replays entirely from the coordinator cache.
+        assert all(report.cache_misses == 0 for report in second.reports)
+        assert sum(report.cache_hits for report in second.reports) > 0
+
+    def test_pool_serves_campaigns_and_explorations_alike(self):
+        """One pool, interleaved workloads: both run and stay consistent."""
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(4, 4)
+        with ExplorationPool(workers=2, serial_threshold=0) as pool:
+            exploration = pool.explore(algorithm, grid, "FSYNC")
+            report = grid_sweep(algorithm, sizes=[(3, 3), (4, 4)], pool=pool)
+            again = pool.explore(algorithm, grid, "FSYNC")
+        assert report.ok
+        _assert_same_exploration(again, exploration)
+
+
+# ---------------------------------------------------------------------------
+# Satellite regressions
+# ---------------------------------------------------------------------------
+class TestShardedFallbackCache:
+    """explore_sharded's serial fallback must honour the caller's cache."""
+
+    def test_fallback_runs_on_the_supplied_cache(self):
+        adhoc = _adhoc_algorithm("adhoc_fallback_cache")
+        grid = Grid(1, 3)
+        cache = MatcherCache()
+        warm = explore_sharded(adhoc, grid, "FSYNC", workers=4, max_states=500, cache=cache)
+        # The unregistered algorithm fell back to the serial explorer — on
+        # the supplied cache, not a cold ad-hoc matcher.
+        assert cache.stats_for(adhoc).lookups > 0
+        assert cache.entry_count() > 0
+        _assert_same_exploration(warm, _serial(adhoc, grid, "FSYNC", max_states=500))
+        # ...and a second fallback over the same cache starts warm.
+        rerun = explore_sharded(adhoc, grid, "FSYNC", workers=4, max_states=500, cache=cache)
+        assert rerun.matcher_stats["misses"] == 0
+        _assert_same_exploration(rerun, warm)
+
+    def test_workers_one_fallback_also_uses_the_cache(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(3, 3)
+        cache = MatcherCache()
+        explore_sharded(algorithm, grid, "FSYNC", workers=1, cache=cache)
+        warm = explore_sharded(algorithm, grid, "FSYNC", workers=1, cache=cache)
+        assert warm.matcher_stats["misses"] == 0
+
+
+class TestSeedNormalization:
+    """A VerificationReport's seed must replay the run it describes."""
+
+    @pytest.mark.parametrize("model", ["FSYNC", "SSYNC", "ASYNC"])
+    def test_default_seed_is_recorded_and_replays(self, model):
+        algorithm = get("async_phi2_l3_chir_k2" if model != "FSYNC" else "fsync_phi2_l2_chir_k2")
+        tie_break = "error" if model == "FSYNC" else "first"
+        report = verify_one(algorithm, 3, 4, model=model, seed=None, tie_break=tie_break)
+        assert report.seed == 0  # the seed that actually drove the run
+        replay = verify_one(algorithm, 3, 4, model=model, seed=report.seed, tie_break=tie_break)
+        assert replay == report
+        assert (replay.steps, replay.moves, replay.ok) == (report.steps, report.moves, report.ok)
+
+    def test_explicit_seed_round_trips_through_the_report(self):
+        algorithm = get("async_phi2_l3_chir_k2")
+        report = verify_one(algorithm, 3, 4, model="SSYNC", seed=7, tie_break="first")
+        assert report.seed == 7
+        assert verify_one(algorithm, 3, 4, model="SSYNC", seed=report.seed, tie_break="first") == report
+
+    def test_campaign_reports_replay_from_their_recorded_seed(self):
+        algorithm = get("async_phi2_l3_chir_k2")
+        sweep = grid_sweep(algorithm, sizes=[(3, 4)], model="SSYNC", seed=None, tie_break="first")
+        for report in sweep.reports:
+            assert report.seed is not None
+            replay = verify_one(
+                algorithm, report.m, report.n, model=report.model, seed=report.seed, tie_break="first"
+            )
+            assert replay == report
+
+
+class TestStatsForIsLive:
+    """MatcherCache.stats_for must hand back counters that keep counting."""
+
+    def test_stats_requested_before_any_matcher_see_increments(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        cache = MatcherCache()
+        stats = cache.stats_for(algorithm)  # no matcher exists yet
+        assert stats.lookups == 0
+        matcher = cache.matcher_for(algorithm, Grid(3, 3))
+        assert matcher.stats is stats  # the same live object
+        world = algorithm.initial_world(Grid(3, 3))
+        matcher.matches(world.robots, world.robots[0].pos, world.robots[0].color)
+        assert stats.lookups > 0  # increments were never lost
+
+    def test_stats_for_is_stable_across_calls(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        cache = MatcherCache()
+        assert cache.stats_for(algorithm) is cache.stats_for(algorithm)
+
+    def test_distinct_algorithms_keep_distinct_counters(self):
+        cache = MatcherCache()
+        first = cache.stats_for(get("fsync_phi2_l2_chir_k2"))
+        second = cache.stats_for(get("fsync_phi1_l2_chir_k3"))
+        assert first is not second
+
+
+class TestDefaultWorkers:
+    def test_respects_scheduling_affinity_where_available(self):
+        expected = (
+            len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else (os.cpu_count() or 1)
+        )
+        assert default_workers() == expected
+        assert default_workers() >= 1
+
+    def test_campaign_engine_default_matches(self):
+        assert ParallelCampaignEngine().workers == default_workers()
+
+    def test_exploration_pool_default_matches(self):
+        pool = ExplorationPool()
+        assert pool.workers == default_workers()
+        pool.close()
+
+
+class TestEstimateStates:
+    def test_monotone_in_grid_area(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        small = estimate_states(algorithm, Grid(3, 3), "FSYNC")
+        large = estimate_states(algorithm, Grid(8, 8), "FSYNC")
+        assert small < large
+
+    def test_richer_models_estimate_higher(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(4, 4)
+        fsync = estimate_states(algorithm, grid, "FSYNC")
+        ssync = estimate_states(algorithm, grid, "SSYNC")
+        async_ = estimate_states(algorithm, grid, "ASYNC")
+        assert fsync < ssync < async_
