@@ -17,7 +17,13 @@ machine-readable ledger, ``BENCH_engine.json`` at the repo root:
   one persistent :class:`~repro.engine.pool.ExplorationPool` against two
   cold ``explore_sharded`` calls that each pay pool startup; the pooled
   case must be faster and its second check must hit the worker caches
-  warmed by the first.
+  warmed by the first;
+* **reduction quotients** (PR 4 trajectory) — the suite ASYNC case
+  (:data:`repro.engine.suites.REDUCTION_BENCH_CASE`) checked unreduced,
+  under ``reduction="grid"`` and under ``reduction="grid+color+por"``:
+  the composed pipeline must explore strictly fewer states than the grid
+  quotient alone with byte-identical verdicts, and the quotient ratios and
+  wall times land in the ledger.
 
 Run directly:
 
@@ -48,6 +54,7 @@ from repro.checking import check_terminating_exploration, explore_state_space
 from repro.core import Grid
 from repro.core.algorithm import Algorithm
 from repro.engine import (
+    REDUCTION_BENCH_CASE,
     AlgorithmTransitionSystem,
     ExplorationPool,
     MatcherCache,
@@ -317,6 +324,61 @@ def bench_pooled_reuse(workers: int) -> Tuple[List[dict], float, float]:
     )
 
 
+def _reduction_case(repetitions: int = 1) -> Dict[str, Tuple[float, "object"]]:
+    """Wall time and CheckResult of the reduction bench case per spec."""
+    name, m, n, model = REDUCTION_BENCH_CASE
+    algorithm = get(name)
+    grid = Grid(m, n)
+    outcomes: Dict[str, Tuple[float, object]] = {}
+    for spec in ("none", "grid", "grid+color+por"):
+        # The verdict run is itself the first timed run, so the smoke guard
+        # (repetitions=1) pays exactly one exploration per spec.
+        start = time.perf_counter()
+        result = check_terminating_exploration(algorithm, grid, model=model, reduction=spec)
+        for _ in range(repetitions - 1):
+            check_terminating_exploration(algorithm, grid, model=model, reduction=spec)
+        wall = (time.perf_counter() - start) / repetitions
+        outcomes[spec] = (wall, result)
+    base = outcomes["none"][1]
+    for spec, (_, result) in outcomes.items():
+        if (result.terminates, result.explores, result.ok, result.counterexample) != (
+            base.terminates,
+            base.explores,
+            base.ok,
+            base.counterexample,
+        ):
+            # RuntimeError, not assert: verdict parity must hold even under
+            # ``python -O`` or a diverging reduction becomes the baseline.
+            raise RuntimeError(f"reduction={spec!r} changed the verdict of the bench case")
+    return outcomes
+
+
+def bench_reduction(repetitions: int) -> Tuple[List[dict], float, float]:
+    """The PR-4 trajectory: the suite ASYNC case across reduction pipelines.
+
+    Checks :data:`REDUCTION_BENCH_CASE` unreduced, under the grid quotient
+    and under the full ``grid+color+por`` pipeline; verdicts must agree
+    (enforced) and the composed pipeline must explore strictly fewer states
+    than the grid quotient (gated by the caller).  Returns the rows plus
+    the state quotient ratios none/grid and grid/(grid+color+por).
+    """
+    name, m, n, model = REDUCTION_BENCH_CASE
+    label = f"{name} {m}x{n} [{model}]"
+    outcomes = _reduction_case(repetitions)
+    rows = [
+        _case(f"{label} reduction={spec}", wall, result.states_explored)
+        for spec, (wall, result) in outcomes.items()
+    ]
+    grid_states = outcomes["grid"][1].states_explored
+    full_states = outcomes["grid+color+por"][1].states_explored
+    none_states = outcomes["none"][1].states_explored
+    return (
+        rows,
+        none_states / grid_states if grid_states else float("inf"),
+        grid_states / full_states if full_states else float("inf"),
+    )
+
+
 def bench_sharded_wide(workers: int) -> List[dict]:
     """Serial vs sharded on the widest shared workload (8x8 SSYNC, k=3)."""
     algorithm = get("fsync_phi2_l2_nochir_k3")
@@ -369,6 +431,8 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
     pooled_rows, pooled_x, pooled_reuse_rate = bench_pooled_reuse(workers)
     rows += pooled_rows
     rows += bench_sharded_wide(workers)
+    reduction_rows, grid_quotient_x, por_quotient_x = bench_reduction(max(1, repetitions // 10))
+    rows += reduction_rows
 
     by_case = _by_case(rows)
     engine_x = (
@@ -396,6 +460,11 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
         f"3x3 FSYNC twice: persistent pool is {pooled_x:.2f}x two cold sharded calls"
         f" ({pooled_reuse_rate:.0%} cache hits on the second check)"
     )
+    reduction_label = "{} {}x{} [{}]".format(*REDUCTION_BENCH_CASE)
+    print(
+        f"{reduction_label}: grid+color+por explores {por_quotient_x:.2f}x fewer states"
+        f" than the grid quotient (grid is {grid_quotient_x:.2f}x vs unreduced)"
+    )
 
     ok = True
     if engine_x < 2.0:
@@ -422,6 +491,13 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
             file=sys.stderr,
         )
         ok = False
+    if por_quotient_x <= 1.0:
+        print(
+            "FAIL: expected grid+color+por to explore strictly fewer states than the"
+            " grid quotient on the reduction bench case",
+            file=sys.stderr,
+        )
+        ok = False
     if not ok:
         # Leave the previously recorded baseline in place: a failing run
         # must never become the yardstick future smoke passes are held to.
@@ -443,6 +519,9 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
             "cross_size_cache_hit_rate": cross_rate,
             "pooled_vs_cold_sharded_3x3_fsync_x2": pooled_x,
             "pooled_cross_exploration_hit_rate": pooled_reuse_rate,
+            "reduction_bench_case": reduction_label,
+            "reduction_grid_quotient_vs_unreduced": grid_quotient_x,
+            "reduction_grid_color_por_vs_grid": por_quotient_x,
         },
         # The guard compares the machine-independent *ratio* of the kernel
         # to the same-machine seed reference, not absolute states/s.
@@ -461,11 +540,15 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
 
 
 def run_smoke(repetitions: int, baseline_path: Path) -> int:
-    """The ``make verify`` guard: fail on a >3x 3x3 FSYNC regression.
+    """The ``make verify`` guard: 3x3 FSYNC regression + reduction soundness.
 
     Both the kernel case and the seed reference are re-measured on the
     *current* machine and compared as a ratio against the recorded ratio,
     so the guard tracks code regressions rather than hardware differences.
+    The reduction guard then re-checks the suite ASYNC bench case: the
+    ``grid+color+por`` pipeline must still explore strictly fewer states
+    than the ``grid`` quotient with an unchanged verdict (the verdict
+    parity is enforced inside :func:`_reduction_case`).
     """
     algorithm = get("fsync_phi2_l2_chir_k2")
     grid = Grid(3, 3)
@@ -477,6 +560,21 @@ def run_smoke(repetitions: int, baseline_path: Path) -> int:
         f"smoke: {SMOKE_CASE}: {states / kernel_s:.0f} states/s,"
         f" {current_ratio:.1f}x the seed reference ({states} states)"
     )
+
+    outcomes = _reduction_case()  # raises on a verdict divergence
+    grid_states = outcomes["grid"][1].states_explored
+    full_states = outcomes["grid+color+por"][1].states_explored
+    print(
+        "smoke: {} {}x{} [{}]: grid+color+por {} states vs grid {} states,"
+        " verdict unchanged".format(*REDUCTION_BENCH_CASE, full_states, grid_states)
+    )
+    if full_states >= grid_states:
+        print(
+            "FAIL: grid+color+por no longer explores strictly fewer states than the"
+            f" grid quotient on the reduction bench case ({full_states} >= {grid_states})",
+            file=sys.stderr,
+        )
+        return 1
 
     if not baseline_path.exists():
         print(f"smoke: no baseline at {baseline_path}; run `make bench` to record one")

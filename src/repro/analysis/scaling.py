@@ -15,6 +15,7 @@ from ..core.algorithm import Algorithm
 from ..core.grid import Grid
 from ..engine.matcher import MatcherCache
 from ..engine.pool import ExplorationPool
+from ..engine.reduction import ReductionSpec, normalize_reduction
 from ..engine.suites import scaling_suite
 from ..engine.walk import TieBreak, run_fsync
 
@@ -80,10 +81,15 @@ class StateSpacePoint:
     m: int
     n: int
     nodes: int
-    #: Reachable canonical states (of the symmetry quotient if reduced).
+    #: Reachable canonical states (of the reduction quotient if reduced).
     states: int
     #: Matcher-cache hit rate observed during this size's exploration.
     cache_hit_rate: float
+    #: The active reduction spec the size was explored under.
+    reduction: str = "none"
+    #: Per-component reduction statistics of this size's exploration
+    #: (``None`` when unreduced).
+    reduction_stats: Optional[dict] = None
 
 
 def state_space_sweep(
@@ -93,8 +99,13 @@ def state_space_sweep(
     symmetry_reduction: bool = False,
     max_states: int = 200_000,
     pool: Optional[ExplorationPool] = None,
+    reduction: ReductionSpec = None,
 ) -> List[StateSpacePoint]:
     """Measure reachable-state-space growth over a family of grid sizes.
+
+    ``reduction`` selects the reduction pipeline each size is explored
+    under (``symmetry_reduction=True`` stays as the deprecated alias for
+    ``reduction="grid"``); the per-size quotient ratios land on the points.
 
     Each size is explored exhaustively.  With ``pool`` the sweep runs
     through the persistent :class:`~repro.engine.pool.ExplorationPool`:
@@ -106,6 +117,7 @@ def state_space_sweep(
     """
     if sizes is None:
         sizes = scaling_suite(algorithm)
+    spec = normalize_reduction(reduction, symmetry_reduction)
     pool = pool if pool is not None else ExplorationPool(workers=1)
     points = []
     for m, n in sizes:
@@ -115,7 +127,7 @@ def state_space_sweep(
             algorithm,
             Grid(m, n),
             model,
-            symmetry_reduction=symmetry_reduction,
+            reduction=spec,
             max_states=max_states,
         )
         stats = exploration.matcher_stats or {}
@@ -126,6 +138,8 @@ def state_space_sweep(
                 nodes=m * n,
                 states=exploration.num_states,
                 cache_hit_rate=float(stats.get("hit_rate", 0.0)),
+                reduction=exploration.reduction,
+                reduction_stats=exploration.reduction_stats,
             )
         )
     return points

@@ -24,11 +24,17 @@ Successor generation is delegated to the unified transition-system kernel
 semantics the simulator walks — and the frontier search, state interning
 and graph analyses live in :mod:`repro.engine.explorer`.
 
-``symmetry_reduction=True`` additionally quotients the search by the grid
-automorphisms the algorithm cannot distinguish (rotations, plus reflections
-for chirality-free algorithms; see :mod:`repro.engine.symmetry`): symmetric
-states are explored once, which shrinks the state space while preserving
-both the termination and the coverage verdicts exactly.
+``reduction=`` selects a composable reduction pipeline
+(:mod:`repro.engine.reduction`): ``"grid"`` quotients the search by the
+grid automorphisms the algorithm cannot distinguish (rotations, plus
+reflections for chirality-free algorithms; see
+:mod:`repro.engine.symmetry`), ``"grid+color"`` additionally quotients by
+the detected color-permutation symmetries of the rule set, and
+``"grid+color+por"`` adds ample-set partial-order reduction for the ASYNC
+micro-step interleavings.  Every combination shrinks the state space while
+preserving both the termination and the coverage verdicts exactly.
+``symmetry_reduction=True`` remains as the deprecated boolean alias for
+``reduction="grid"``.
 
 This is a strictly stronger check than any number of randomized
 simulations, and it is the tool used to validate the paper's ASYNC
@@ -45,6 +51,7 @@ from ..core.grid import Grid
 from ..engine.explorer import Exploration, guaranteed_nodes, has_cycle
 from ..engine.matcher import MatcherCache
 from ..engine.pool import ExplorationPool
+from ..engine.reduction import ReductionSpec, normalize_reduction
 from ..engine.sharded import explore_sharded
 from ..engine.states import SchedulerState
 from ..engine.transition import AlgorithmTransitionSystem
@@ -65,7 +72,9 @@ class CheckResult:
     terminates: bool
     explores: bool
     counterexample: Optional[str] = None
-    #: Whether the counts above refer to the symmetry-reduced quotient.
+    #: Whether the counts above refer to a symmetry-reduced quotient (grid
+    #: and/or color).  Kept for backward compatibility; ``reduction`` names
+    #: the precise pipeline.
     symmetry_reduction: bool = False
     #: Matcher-cache counters accumulated by this check (``hits`` /
     #: ``misses`` / ``hit_rate``); ``None`` for results built by hand.
@@ -73,6 +82,13 @@ class CheckResult:
     #: happened to be, and results are promised identical across the
     #: serial/sharded/cached execution modes.
     matcher_stats: Optional[Dict[str, float]] = field(default=None, compare=False)
+    #: The active reduction spec the check ran under (``"none"``,
+    #: ``"grid"``, ``"grid+color+por"``, ...).
+    reduction: str = "none"
+    #: Per-component reduction statistics (orbit collapses, interleavings
+    #: pruned); deterministic for a given check, but excluded from equality
+    #: like the matcher counters — observability, not part of the verdict.
+    reduction_stats: Optional[Dict[str, Dict[str, float]]] = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -81,7 +97,10 @@ class CheckResult:
 
     def summary(self) -> str:
         status = "terminating exploration holds" if self.ok else f"FAILS ({self.counterexample})"
-        reduced = ", symmetry-reduced" if self.symmetry_reduction else ""
+        if self.reduction not in ("none", "grid"):
+            reduced = f", reduced [{self.reduction}]"
+        else:
+            reduced = ", symmetry-reduced" if self.symmetry_reduction else ""
         cache = ""
         if self.matcher_stats is not None:
             cache = f", match cache {self.matcher_stats['hit_rate']:.0%} hits"
@@ -110,6 +129,7 @@ def _explore(
     max_states: int,
     start: Optional[SchedulerState] = None,
     symmetry_reduction: bool,
+    reduction: ReductionSpec,
     workers: Optional[int],
     cache: Optional[MatcherCache],
     pool: Optional[ExplorationPool],
@@ -129,12 +149,13 @@ def _explore(
     """
     if model not in ("FSYNC", "SSYNC", "ASYNC"):
         raise ValueError(f"unknown model {model!r}")
+    spec = normalize_reduction(reduction, symmetry_reduction)
     if pool is not None:
         return pool.explore(
             algorithm,
             grid,
             model,
-            symmetry_reduction=symmetry_reduction,
+            reduction=spec,
             max_states=max_states,
             start=start,
         )
@@ -145,7 +166,7 @@ def _explore(
         grid,
         model,
         workers=workers if workers is not None else 1,
-        symmetry_reduction=symmetry_reduction,
+        reduction=spec,
         max_states=max_states,
         start=start,
         cache=cache,
@@ -162,12 +183,16 @@ def explore_state_space(
     workers: Optional[int] = None,
     cache: Optional[MatcherCache] = None,
     pool: Optional[ExplorationPool] = None,
+    reduction: ReductionSpec = None,
 ) -> Dict[SchedulerState, List[SchedulerState]]:
     """Build the successor graph of all reachable scheduler states.
 
-    With ``symmetry_reduction=True`` the returned graph is the quotient by
-    grid symmetry: states are orbit representatives, and a representative's
-    successor list contains the representatives of its raw successors.
+    With a quotienting ``reduction`` (``"grid"``, ``"grid+color"``, ...)
+    the returned graph is the quotient by the selected symmetries: states
+    are orbit representatives, and a representative's successor list
+    contains the representatives of its raw successors; ``"por"`` prunes
+    ASYNC interleavings instead of quotienting.  ``symmetry_reduction=True``
+    is the deprecated alias for ``reduction="grid"``.
 
     ``workers > 1`` shards the frontier across a process pool; ``cache``
     reuses snapshot/match memo tables across repeated (serial) checks;
@@ -183,6 +208,7 @@ def explore_state_space(
         max_states=max_states,
         start=start,
         symmetry_reduction=symmetry_reduction,
+        reduction=reduction,
         workers=workers,
         cache=cache,
         pool=pool,
@@ -199,6 +225,7 @@ def enumerate_reachable(
     workers: Optional[int] = None,
     cache: Optional[MatcherCache] = None,
     pool: Optional[ExplorationPool] = None,
+    reduction: ReductionSpec = None,
 ) -> int:
     """Number of reachable canonical states (convenience wrapper)."""
     return _explore(
@@ -207,6 +234,7 @@ def enumerate_reachable(
         model,
         max_states=max_states,
         symmetry_reduction=symmetry_reduction,
+        reduction=reduction,
         workers=workers,
         cache=cache,
         pool=pool,
@@ -222,16 +250,22 @@ def check_terminating_exploration(
     workers: Optional[int] = None,
     cache: Optional[MatcherCache] = None,
     pool: Optional[ExplorationPool] = None,
+    reduction: ReductionSpec = None,
 ) -> CheckResult:
     """Exhaustively decide Definition 1 over all scheduler behaviours.
 
-    The verdict is identical with and without ``symmetry_reduction``; the
-    reduced run only explores fewer states (a quotient cycle lifts to an
-    infinite raw execution and vice versa, and coverage sets are mapped
-    exactly through the collapsing symmetries).  It is likewise identical
-    with and without ``workers`` (sharded exploration merges into the
-    serial graph exactly), with and without ``cache`` (memoization only
-    skips recomputation), and with and without ``pool`` (a persistent
+    The verdict is identical under every ``reduction`` spec — ``"none"``,
+    ``"grid"``, ``"grid+color"``, ``"grid+color+por"`` and any other
+    combination; the reduced run only explores fewer states (a quotient
+    cycle lifts to an infinite raw execution and vice versa, coverage sets
+    are mapped exactly through the collapsing witnesses, and the ample-set
+    conditions plus cycle proviso make partial-order pruning
+    verdict-preserving; see :mod:`repro.engine.reduction`).
+    ``symmetry_reduction=True`` remains the deprecated alias for
+    ``reduction="grid"``.  The verdict is likewise identical with and
+    without ``workers`` (sharded exploration merges into the serial graph
+    exactly), with and without ``cache`` (memoization only skips
+    recomputation), and with and without ``pool`` (a persistent
     :class:`~repro.engine.pool.ExplorationPool`, which routes adaptively
     between those two mechanisms and supersedes both arguments).
     """
@@ -241,6 +275,7 @@ def check_terminating_exploration(
         model,
         max_states=max_states,
         symmetry_reduction=symmetry_reduction,
+        reduction=reduction,
         workers=workers,
         cache=cache,
         pool=pool,
@@ -260,6 +295,8 @@ def check_terminating_exploration(
             counterexample="a scheduler can drive the system into an infinite execution (cycle reached)",
             symmetry_reduction=exploration.reduced,
             matcher_stats=exploration.matcher_stats,
+            reduction=exploration.reduction,
+            reduction_stats=exploration.reduction_stats,
         )
 
     all_nodes = frozenset(grid.nodes())
@@ -287,4 +324,6 @@ def check_terminating_exploration(
         counterexample=counterexample,
         symmetry_reduction=exploration.reduced,
         matcher_stats=exploration.matcher_stats,
+        reduction=exploration.reduction,
+        reduction_stats=exploration.reduction_stats,
     )

@@ -7,8 +7,11 @@ paper are implemented; every other layer consumes it:
 * :mod:`repro.engine.matcher` — memoized snapshot/rule-match computation;
 * :mod:`repro.engine.transition` — the :class:`TransitionSystem` protocol
   and the authoritative FSYNC/SSYNC/ASYNC successor generator;
-* :mod:`repro.engine.symmetry` — grid-symmetry reduction (rotations and,
-  for chirality-free algorithms, reflections);
+* :mod:`repro.engine.symmetry` — the grid-automorphism group (rotations
+  and, for chirality-free algorithms, reflections);
+* :mod:`repro.engine.reduction` — the composable reduction subsystem:
+  grid-symmetry quotient x detected color-permutation symmetry x ASYNC
+  partial-order reduction, selected by a ``reduction=`` spec;
 * :mod:`repro.engine.explorer` — frontier search, interning, cycle and
   coverage analyses (the model checker's substrate);
 * :mod:`repro.engine.sharded` — hash-partitioned parallel exploration over
@@ -28,8 +31,10 @@ from .campaign import (
     GridSweepReport,
     ParallelCampaignEngine,
     VerificationReport,
+    check_one,
     derive_seed,
     execute_tasks,
+    exhaustive_check_tasks,
     grid_sweep_tasks,
     run_task,
     stress_test_tasks,
@@ -38,6 +43,17 @@ from .campaign import (
 from .explorer import Exploration, explore, guaranteed_nodes, has_cycle, topological_order
 from .matcher import LocalMatcher, MatcherCache, MatcherStats
 from .pool import ExplorationPool, default_workers, estimate_states, process_cache
+from .reduction import (
+    ColorPermutation,
+    ProductWitness,
+    Reduction,
+    ReductionPipeline,
+    apriori_reduction_factor,
+    detect_color_permutations,
+    normalize_reduction,
+    resolve_reduction,
+    transform_state_colors,
+)
 from .sharded import explore_sharded
 from .states import (
     AsyncRobotState,
@@ -48,7 +64,12 @@ from .states import (
     thaw_snapshot,
     world_from_state,
 )
-from .suites import default_grid_suite, scaling_suite
+from .suites import (
+    REDUCTION_BENCH_CASE,
+    default_grid_suite,
+    reduction_parity_suite,
+    scaling_suite,
+)
 from .symmetry import GridSymmetry, canonicalize, grid_symmetries, transform_state
 from .transition import MODELS, AlgorithmTransitionSystem, TransitionSystem
 from .walk import TieBreak, default_step_budget, run, run_async, run_fsync, run_ssync
@@ -74,6 +95,16 @@ __all__ = [
     "grid_symmetries",
     "transform_state",
     "canonicalize",
+    # reduction
+    "Reduction",
+    "ReductionPipeline",
+    "ColorPermutation",
+    "ProductWitness",
+    "detect_color_permutations",
+    "transform_state_colors",
+    "normalize_reduction",
+    "resolve_reduction",
+    "apriori_reduction_factor",
     # explorer
     "Exploration",
     "explore",
@@ -96,15 +127,19 @@ __all__ = [
     # suites
     "default_grid_suite",
     "scaling_suite",
+    "reduction_parity_suite",
+    "REDUCTION_BENCH_CASE",
     # campaign
     "VerificationReport",
     "GridSweepReport",
     "CampaignTask",
     "verify_one",
+    "check_one",
     "run_task",
     "execute_tasks",
     "grid_sweep_tasks",
     "stress_test_tasks",
+    "exhaustive_check_tasks",
     "derive_seed",
     "ParallelCampaignEngine",
 ]

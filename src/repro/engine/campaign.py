@@ -1,10 +1,13 @@
 """Campaign execution: verification work items, serial and parallel engines.
 
 A verification campaign is a flat list of independent work items
-(:class:`CampaignTask`), each of which runs one bounded execution through
-the walk engine (:mod:`repro.engine.walk`) and scores it against
-Definition 1.  Because the items are independent and fully described by
-picklable primitives, the same list can be executed
+(:class:`CampaignTask`).  A ``"walk"`` task runs one bounded execution
+through the walk engine (:mod:`repro.engine.walk`) and scores it against
+Definition 1; a ``"check"`` task runs the exhaustive model checker
+(:mod:`repro.checking.model_checker`) under a configurable reduction
+pipeline (``reduction=``, see :mod:`repro.engine.reduction`).  Because the
+items are independent and fully described by picklable primitives, the
+same list can be executed
 
 * serially (:func:`execute_tasks` with an ``Algorithm`` in hand), or
 * fanned across a ``multiprocessing`` pool (:class:`ParallelCampaignEngine`),
@@ -22,7 +25,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.algorithm import Algorithm
 from ..core.errors import VerificationError
@@ -30,6 +33,7 @@ from ..core.execution import ExecutionResult
 from ..core.grid import Grid
 from .matcher import LocalMatcher, MatcherCache
 from .pool import ExplorationPool, default_workers, process_cache, registered
+from .reduction import normalize_reduction
 from .suites import default_grid_suite
 from .walk import TieBreak, run_async, run_fsync, run_ssync
 
@@ -38,10 +42,12 @@ __all__ = [
     "GridSweepReport",
     "CampaignTask",
     "verify_one",
+    "check_one",
     "run_task",
     "execute_tasks",
     "grid_sweep_tasks",
     "stress_test_tasks",
+    "exhaustive_check_tasks",
     "derive_seed",
     "ParallelCampaignEngine",
 ]
@@ -52,7 +58,14 @@ __all__ = [
 # ---------------------------------------------------------------------------
 @dataclass
 class VerificationReport:
-    """Outcome of a single verification run."""
+    """Outcome of a single verification run.
+
+    For ``kind="walk"`` reports ``steps``/``moves`` are the scheduler
+    rounds and robot moves of the bounded execution; for ``kind="check"``
+    reports (exhaustive model-checking tasks) they carry the explored and
+    terminal state counts of the (possibly reduced) state space, and
+    ``seed`` is ``None`` (exhaustive checks quantify over every schedule).
+    """
 
     algorithm: str
     model: str
@@ -61,7 +74,7 @@ class VerificationReport:
     #: The seed that actually drove the run (:func:`verify_one` normalizes
     #: ``None`` to ``0`` before executing), so replaying with
     #: ``seed=report.seed`` reproduces the run exactly.  ``None`` only on
-    #: reports built by hand.
+    #: reports built by hand and on exhaustive-check reports.
     seed: Optional[int]
     ok: bool
     steps: int
@@ -74,9 +87,20 @@ class VerificationReport:
     #: and must not break the serial-vs-parallel report parity guarantee.
     cache_hits: Optional[int] = field(default=None, compare=False)
     cache_misses: Optional[int] = field(default=None, compare=False)
+    #: ``"walk"`` (bounded execution) or ``"check"`` (exhaustive check).
+    kind: str = "walk"
+    #: For ``kind="check"``: the active reduction spec the check ran under.
+    reduction: Optional[str] = None
+    #: For ``kind="check"``: per-component reduction statistics (orbit
+    #: collapses, interleavings pruned).  Deterministic, but excluded from
+    #: equality like the cache counters — observability, not verdict.
+    reduction_stats: Optional[Dict[str, Dict[str, float]]] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         status = "ok" if self.ok else f"FAILED ({self.reason})"
+        if self.kind == "check":
+            reduced = f", reduction={self.reduction}" if self.reduction else ""
+            return f"{self.algorithm} {self.m}x{self.n} [{self.model} exhaustive{reduced}]: {status}"
         seed = "" if self.seed is None else f", seed={self.seed}"
         return f"{self.algorithm} {self.m}x{self.n} [{self.model}{seed}]: {status}"
 
@@ -220,6 +244,72 @@ def verify_one(
     )
 
 
+def check_one(
+    algorithm: Algorithm,
+    m: int,
+    n: int,
+    model: str = "FSYNC",
+    reduction: Optional[str] = "grid",
+    max_states: int = 200_000,
+    cache: Optional[MatcherCache] = None,
+) -> VerificationReport:
+    """Exhaustively model-check one ``(algorithm, grid, model)`` triple.
+
+    The campaign-shaped wrapper around
+    :func:`repro.checking.check_terminating_exploration`: the verdict (and
+    its reason), the explored/terminal state counts, the matcher-cache
+    delta and the per-component reduction statistics all land on a
+    :class:`VerificationReport` with ``kind="check"``, so exhaustive checks
+    ride the same serial/parallel campaign machinery as bounded walks.  A
+    tripped state budget (or any other failure) is reported, not raised.
+    """
+    from ..checking.model_checker import (  # local import: avoids a layering cycle
+        check_terminating_exploration,
+    )
+
+    grid = Grid(m, n)
+    try:
+        result = check_terminating_exploration(
+            algorithm,
+            grid,
+            model=model,
+            max_states=max_states,
+            reduction=reduction,
+            cache=cache,
+        )
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        return VerificationReport(
+            algorithm=algorithm.name,
+            model=model,
+            m=m,
+            n=n,
+            seed=None,
+            ok=False,
+            steps=0,
+            moves=0,
+            reason=f"{type(exc).__name__}: {exc}",
+            kind="check",
+            reduction=normalize_reduction(reduction),
+        )
+    stats = result.matcher_stats
+    return VerificationReport(
+        algorithm=algorithm.name,
+        model=model,
+        m=m,
+        n=n,
+        seed=None,
+        ok=result.ok,
+        steps=result.states_explored,
+        moves=result.terminal_states,
+        reason="ok" if result.ok else (result.counterexample or "check failed"),
+        cache_hits=int(stats["hits"]) if stats is not None else None,
+        cache_misses=int(stats["misses"]) if stats is not None else None,
+        kind="check",
+        reduction=result.reduction,
+        reduction_stats=result.reduction_stats,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Work items
 # ---------------------------------------------------------------------------
@@ -228,7 +318,12 @@ class CampaignTask:
     """One independent, picklable verification work item.
 
     ``algorithm`` is a registry name so the task can cross a process
-    boundary (rule sets carry lambdas and cannot be pickled).
+    boundary (rule sets carry lambdas and cannot be pickled).  ``kind``
+    selects the execution engine: ``"walk"`` runs one bounded execution
+    (driven by ``seed``/``tie_break``/``max_steps``), ``"check"`` runs the
+    exhaustive model checker (driven by ``reduction``/``max_states`` — both
+    picklable primitives, so reduced exhaustive checks fan out across
+    process pools like any other task).
     """
 
     algorithm: str
@@ -238,6 +333,12 @@ class CampaignTask:
     seed: Optional[int] = None
     tie_break: str = TieBreak.ERROR
     max_steps: Optional[int] = None
+    kind: str = "walk"
+    #: ``kind="check"`` only: the reduction spec string for the exhaustive
+    #: exploration (``None`` falls back to the checker's default quotient).
+    reduction: Optional[str] = "grid"
+    #: ``kind="check"`` only: the exploration state budget.
+    max_states: int = 200_000
 
 
 def run_task(task: CampaignTask) -> VerificationReport:
@@ -253,8 +354,19 @@ def run_task(task: CampaignTask) -> VerificationReport:
     """
     from ..algorithms import registry  # local import: avoids a layering cycle
 
+    algorithm = registry.get(task.algorithm)
+    if task.kind == "check":
+        return check_one(
+            algorithm,
+            task.m,
+            task.n,
+            model=task.model,
+            reduction=task.reduction,
+            max_states=task.max_states,
+            cache=process_cache(),
+        )
     return verify_one(
-        registry.get(task.algorithm),
+        algorithm,
         task.m,
         task.n,
         model=task.model,
@@ -274,25 +386,41 @@ def execute_tasks(
 
     Unlike :func:`run_task` this works for algorithms that are not in the
     registry (ad-hoc/test algorithms); the results are identical to the
-    parallel path for registered ones because both call :func:`verify_one`.
-    One :class:`MatcherCache` (``cache``, freshly created by default) is
+    parallel path for registered ones because both routes call
+    :func:`verify_one` / :func:`check_one` per task kind.  One
+    :class:`MatcherCache` (``cache``, freshly created by default) is
     shared across the whole task list, so every task after the first starts
     warm on the patterns already seen — including at other grid sizes.
     """
     cache = cache if cache is not None else MatcherCache()
-    return [
-        verify_one(
-            algorithm,
-            task.m,
-            task.n,
-            model=task.model,
-            seed=task.seed,
-            tie_break=task.tie_break,
-            max_steps=task.max_steps,
-            cache=cache,
-        )
-        for task in tasks
-    ]
+    reports = []
+    for task in tasks:
+        if task.kind == "check":
+            reports.append(
+                check_one(
+                    algorithm,
+                    task.m,
+                    task.n,
+                    model=task.model,
+                    reduction=task.reduction,
+                    max_states=task.max_states,
+                    cache=cache,
+                )
+            )
+        else:
+            reports.append(
+                verify_one(
+                    algorithm,
+                    task.m,
+                    task.n,
+                    model=task.model,
+                    seed=task.seed,
+                    tie_break=task.tie_break,
+                    max_steps=task.max_steps,
+                    cache=cache,
+                )
+            )
+    return reports
 
 
 def grid_sweep_tasks(
@@ -326,6 +454,37 @@ def stress_test_tasks(
         if algorithm.supports_grid(m, n)
         for model in models
         for seed in seeds
+    ]
+
+
+def exhaustive_check_tasks(
+    algorithm: Algorithm,
+    sizes: Optional[Iterable[Tuple[int, int]]] = None,
+    model: str = "FSYNC",
+    reduction: Optional[str] = "grid",
+    max_states: int = 200_000,
+) -> List[CampaignTask]:
+    """The task list of an exhaustive model-checking sweep.
+
+    One ``kind="check"`` task per supported grid size, each running the
+    full state-space exploration under ``reduction``.  The default size
+    family stays small (``max_side=4``): exhaustive checks grow
+    exponentially with the grid, so sweeping them across the walk-campaign
+    suite would be a budget trip, not a campaign.
+    """
+    sizes = list(sizes) if sizes is not None else default_grid_suite(algorithm, max_side=4)
+    return [
+        CampaignTask(
+            algorithm=algorithm.name,
+            m=m,
+            n=n,
+            model=model,
+            kind="check",
+            reduction=reduction,
+            max_states=max_states,
+        )
+        for m, n in sizes
+        if algorithm.supports_grid(m, n)
     ]
 
 
@@ -417,6 +576,24 @@ class ParallelCampaignEngine:
         tie_break: str = TieBreak.FIRST,
     ) -> GridSweepReport:
         tasks = stress_test_tasks(algorithm, sizes=sizes, models=models, seeds=seeds, tie_break=tie_break)
+        return GridSweepReport(algorithm=algorithm.name, reports=self.run_tasks(algorithm, tasks))
+
+    def exhaustive_sweep(
+        self,
+        algorithm: Algorithm,
+        sizes: Optional[Iterable[Tuple[int, int]]] = None,
+        model: str = "FSYNC",
+        reduction: Optional[str] = "grid",
+        max_states: int = 200_000,
+    ) -> GridSweepReport:
+        """Exhaustive model checks over a family of grid sizes.
+
+        Each task runs the full (reduced) state-space exploration; the
+        reports carry the verdicts plus per-component reduction statistics.
+        """
+        tasks = exhaustive_check_tasks(
+            algorithm, sizes=sizes, model=model, reduction=reduction, max_states=max_states
+        )
         return GridSweepReport(algorithm=algorithm.name, reports=self.run_tasks(algorithm, tasks))
 
     def verify_algorithm(

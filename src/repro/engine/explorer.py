@@ -4,15 +4,21 @@ The explorer is the checking half of the engine kernel: starting from the
 transition system's initial state it discovers every reachable canonical
 state with a breadth-first frontier, interning states into dense integer
 indices (so the graph algorithms below run on plain int lists instead of
-re-hashing dataclasses), and optionally quotienting by grid symmetry
-(:mod:`repro.engine.symmetry`).
+re-hashing dataclasses), and optionally reducing the search through a
+composable :class:`~repro.engine.reduction.ReductionPipeline` — the grid
+automorphism quotient, color-permutation symmetry and ASYNC partial-order
+reduction, selected by ``reduction=`` (``symmetry_reduction=True`` stays
+as a deprecated alias for ``reduction="grid"``).
 
-When symmetry reduction is on, every raw successor is replaced by its orbit
-representative and the edge is labelled with the symmetry ``h`` mapping the
+When a quotient is active, every raw successor is replaced by its orbit
+representative and the edge is labelled with the witness ``h`` mapping the
 representative's coordinates back to the raw successor's.  Termination is
 preserved by the quotient (a quotient cycle lifts to an infinite — hence,
 on a finite space, cyclic — raw execution and vice versa); coverage is
 computed exactly by pushing guaranteed-node sets through the edge labels.
+Partial-order reduction prunes interleavings *before* canonicalization;
+see :mod:`repro.engine.reduction` for why every combination preserves both
+verdicts.
 """
 
 from __future__ import annotations
@@ -23,8 +29,8 @@ from typing import Dict, FrozenSet, List, Optional
 
 from ..core.errors import StateSpaceLimitExceeded
 from ..core.grid import Node
+from .reduction import ReductionSpec, resolve_reduction
 from .states import SchedulerState
-from .symmetry import GridSymmetry, canonicalize, grid_symmetries
 from .transition import TransitionSystem
 
 __all__ = ["Exploration", "explore", "has_cycle", "topological_order", "guaranteed_nodes"]
@@ -36,7 +42,7 @@ class Exploration:
 
     #: Synchrony model the graph was built under.
     model: str
-    #: Whether the graph is the symmetry-reduced quotient.
+    #: Whether the graph is a symmetry-reduced quotient (grid and/or color).
     reduced: bool
     #: Index -> canonical state (orbit representatives when ``reduced``).
     states: List[SchedulerState]
@@ -44,20 +50,33 @@ class Exploration:
     index: Dict[SchedulerState, int]
     #: Index -> successor indices.
     succ: List[List[int]]
-    #: When ``reduced``: per-edge symmetry ``h`` with ``raw = h(rep)``
-    #: (``None`` entries mean the identity).  ``None`` when not reduced.
-    edge_syms: Optional[List[List[Optional[GridSymmetry]]]]
+    #: When ``reduced``: per-edge witness ``h`` with ``raw = h(rep)``
+    #: (``None`` entries mean the identity).  A witness is a
+    #: :class:`~repro.engine.symmetry.GridSymmetry` under the pure grid
+    #: quotient and a :class:`~repro.engine.reduction.ProductWitness` when
+    #: the color quotient participates.  ``None`` when not reduced.
+    edge_syms: Optional[List[List[Optional[object]]]]
     #: Index of the (canonicalised) initial state.
     root: int
-    #: Symmetry mapping the canonical root back to the raw initial state
+    #: Witness mapping the canonical root back to the raw initial state
     #: (``None`` for the identity or when not reduced).
-    root_sym: Optional[GridSymmetry] = field(default=None)
+    root_sym: Optional[object] = field(default=None)
     #: Matcher cache counters accumulated *during this exploration* —
     #: ``{"hits", "misses", "hit_rate"}`` — observability for the
     #: snapshot/match memo layer (aggregated across workers when the
     #: exploration was sharded).  ``None`` when the transition system does
     #: not expose a matcher.
     matcher_stats: Optional[Dict[str, float]] = field(default=None)
+    #: The *active* reduction spec the graph was built under (``"none"``,
+    #: ``"grid"``, ``"grid+color+por"``, ...); inert components (e.g. POR
+    #: outside ASYNC, a trivial detected color group) drop out.
+    reduction: str = field(default="none")
+    #: Per-component reduction statistics accumulated during this
+    #: exploration — orbit collapses for the quotients, ample states and
+    #: interleavings pruned for POR.  Deterministic (identical across the
+    #: serial, sharded and pooled routes); ``None`` when no component is
+    #: active.
+    reduction_stats: Optional[Dict[str, Dict[str, float]]] = field(default=None)
 
     @property
     def num_states(self) -> int:
@@ -75,33 +94,37 @@ class Exploration:
 def explore(
     ts: TransitionSystem,
     *,
+    reduction: ReductionSpec = None,
     symmetry_reduction: bool = False,
     max_states: int = 200_000,
     start: Optional[SchedulerState] = None,
 ) -> Exploration:
-    """Build the (optionally symmetry-reduced) reachable successor graph.
+    """Build the (optionally reduced) reachable successor graph.
+
+    ``reduction`` selects the reduction pipeline — a spec string such as
+    ``"grid"``, ``"grid+color"``, ``"grid+color+por"`` or ``"none"``, or a
+    pre-built :class:`~repro.engine.reduction.ReductionPipeline`.
+    ``symmetry_reduction=True`` is the deprecated boolean alias for
+    ``reduction="grid"`` (ignored when ``reduction`` is given).
 
     Raises :class:`~repro.core.errors.StateSpaceLimitExceeded` — with the
     exploration context attached — as soon as more than ``max_states``
     distinct states have been discovered.
     """
-    symmetries = grid_symmetries(ts.grid, ts.algorithm.chirality) if symmetry_reduction else ()
-    reduce = symmetry_reduction and len(symmetries) > 1
+    pipeline = resolve_reduction(reduction, symmetry_reduction, ts.algorithm, ts.grid, ts.model)
+    reduce = pipeline.reduced
 
     matcher = getattr(ts, "matcher", None)
     stats_before = matcher.stats.snapshot() if matcher is not None else None
+    counters_before = pipeline.counters_snapshot()
 
     root_raw = start if start is not None else ts.initial()
-    root_sym: Optional[GridSymmetry] = None
-    if reduce:
-        root_state, root_sym = canonicalize(root_raw, symmetries)
-    else:
-        root_state = root_raw
+    root_state, root_sym = pipeline.canonicalize(root_raw)
 
     states: List[SchedulerState] = [root_state]
     index: Dict[SchedulerState, int] = {root_state: 0}
     succ: List[List[int]] = []
-    edge_syms: Optional[List[List[Optional[GridSymmetry]]]] = [] if reduce else None
+    edge_syms: Optional[List[List[Optional[object]]]] = [] if reduce else None
     frontier = deque([0])
 
     while frontier:
@@ -109,12 +132,9 @@ def explore(
         # BFS discovers states in index order, so expansions align with succ.
         assert current == len(succ)
         row: List[int] = []
-        row_syms: List[Optional[GridSymmetry]] = []
-        for raw in ts.successors(states[current]):
-            if reduce:
-                rep, h = canonicalize(raw, symmetries)
-            else:
-                rep, h = raw, None
+        row_syms: List[Optional[object]] = []
+        for raw in pipeline.successors(ts, states[current]):
+            rep, h = pipeline.canonicalize(raw)
             child = index.get(rep)
             if child is None:
                 child = len(states)
@@ -124,7 +144,7 @@ def explore(
                         f" state budget of {max_states} exceeded after expanding"
                         f" {len(succ)} states ({len(states)} discovered,"
                         f" frontier size {len(frontier)}"
-                        + (", symmetry reduction on)" if reduce else ")"),
+                        f"{pipeline.budget_note})",
                         algorithm=ts.algorithm.name,
                         model=ts.model,
                         max_states=max_states,
@@ -154,6 +174,8 @@ def explore(
         matcher_stats=(
             matcher.stats.delta_since(stats_before).as_dict() if matcher is not None else None
         ),
+        reduction=pipeline.active_spec,
+        reduction_stats=pipeline.stats_report(pipeline.counters_delta(counters_before)),
     )
 
 
@@ -217,7 +239,9 @@ def guaranteed_nodes(exploration: Exploration) -> List[FrozenSet[Node]]:
     occupied nodes; an inner state guarantees its occupied nodes plus the
     intersection of its successors' guarantees.  Across symmetry-collapsed
     edges the successor's guarantee is mapped through the edge label first
-    (``raw = h(rep)`` implies ``guaranteed(raw) = h(guaranteed(rep))``).
+    (``raw = h(rep)`` implies ``guaranteed(raw) = h(guaranteed(rep))``; the
+    color part of a product witness moves no nodes, so only the grid part
+    acts here).
     """
     states = exploration.states
     succ = exploration.succ

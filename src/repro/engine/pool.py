@@ -48,8 +48,13 @@ from ..core.algorithm import Algorithm
 from ..core.grid import Grid
 from .explorer import Exploration
 from .matcher import MatcherCache
+from .reduction import (
+    ReductionPipeline,
+    ReductionSpec,
+    apriori_reduction_factor,
+    normalize_reduction,
+)
 from .states import SchedulerState
-from .symmetry import GridSymmetry, canonicalize, grid_symmetries
 from .transition import MODELS, AlgorithmTransitionSystem
 
 __all__ = [
@@ -93,14 +98,19 @@ def registered(algorithm: Algorithm) -> bool:
     return registry.all_algorithms().get(algorithm.name) is algorithm
 
 
-def estimate_states(algorithm: Algorithm, grid: Grid, model: str) -> int:
+def estimate_states(
+    algorithm: Algorithm, grid: Grid, model: str, reduction: ReductionSpec = None
+) -> int:
     """A cheap a-priori estimate of the reachable state count.
 
     Upper-bound-shaped heuristic, not a count: placements of the
     algorithm's ``k`` robots on the grid times the color assignments, with
     a branching multiplier for the richer scheduler state of SSYNC (subset
     activation) and ASYNC (per-robot Look/Compute/Move phases and stored
-    snapshots).  It only needs to order workloads around
+    snapshots).  A quotienting ``reduction`` divides the estimate by its
+    a-priori factor (``|grid group| * |detected color group|``), so a
+    reduced run is routed on the state count it can actually reach rather
+    than the raw one.  The estimate only needs to order workloads around
     :data:`SERIAL_THRESHOLD` — small grids below, state-space-heavy runs
     above — which it does with orders of magnitude to spare.
     """
@@ -111,22 +121,26 @@ def estimate_states(algorithm: Algorithm, grid: Grid, model: str) -> int:
         estimate *= 4
     elif model == "ASYNC":
         estimate *= 32
-    return estimate
+    factor = apriori_reduction_factor(algorithm, grid, model, reduction)
+    return max(1, estimate // factor)
 
 
 # ---------------------------------------------------------------------------
 # Worker side (module-level state is per-process by construction)
 # ---------------------------------------------------------------------------
 #: One exploration context, fully picklable: everything a worker needs to
-#: rebuild the transition system it should expand against.
-ExploreKey = Tuple[str, int, int, str, bool]  # (algorithm, m, n, model, reduce)
+#: rebuild the transition system (and reduction pipeline) it should expand
+#: against.  The last slot is the normalized reduction spec string
+#: (``"none"``, ``"grid"``, ``"grid+color+por"``, ...).
+ExploreKey = Tuple[str, int, int, str, str]  # (algorithm, m, n, model, reduction)
 
 _PROCESS_CACHE: Optional[MatcherCache] = None
 
 #: Transition systems this process has already configured, keyed by
 #: :data:`ExploreKey` — kept so re-exploring the same workload skips even
-#: the (cheap) system construction.  Bounded; see :data:`_MAX_SYSTEMS`.
-_SYSTEMS: Dict[ExploreKey, Tuple[AlgorithmTransitionSystem, Optional[Tuple[GridSymmetry, ...]]]] = {}
+#: the (cheap) system and pipeline construction.  Bounded; see
+#: :data:`_MAX_SYSTEMS`.
+_SYSTEMS: Dict[ExploreKey, Tuple[AlgorithmTransitionSystem, ReductionPipeline]] = {}
 _MAX_SYSTEMS = 64
 
 
@@ -147,20 +161,19 @@ def process_cache() -> MatcherCache:
     return _PROCESS_CACHE
 
 
-def _system(key: ExploreKey) -> Tuple[AlgorithmTransitionSystem, Optional[Tuple[GridSymmetry, ...]]]:
-    """The process-local transition system (+ symmetries) for ``key``."""
+def _system(key: ExploreKey) -> Tuple[AlgorithmTransitionSystem, ReductionPipeline]:
+    """The process-local transition system (+ reduction pipeline) for ``key``."""
     entry = _SYSTEMS.get(key)
     if entry is None:
         from ..algorithms import registry  # local import: workers re-import lazily
 
-        name, m, n, model, reduce_ = key
+        name, m, n, model, spec = key
         algorithm = registry.get(name)
         grid = Grid(m, n)
         ts = AlgorithmTransitionSystem(
             algorithm, grid, model, matcher=process_cache().matcher_for(algorithm, grid)
         )
-        symmetries = grid_symmetries(grid, algorithm.chirality) if reduce_ else ()
-        entry = (ts, symmetries if reduce_ and len(symmetries) > 1 else None)
+        entry = (ts, ReductionPipeline(algorithm, grid, model, spec=spec))
         while len(_SYSTEMS) >= _MAX_SYSTEMS:  # matcher tables persist either way
             _SYSTEMS.pop(next(iter(_SYSTEMS)))
         _SYSTEMS[key] = entry
@@ -168,34 +181,36 @@ def _system(key: ExploreKey) -> Tuple[AlgorithmTransitionSystem, Optional[Tuple[
 
 
 #: One expanded row: a state's canonicalised successors, each paired with
-#: the name of the witnessing symmetry (``None`` for identity/unreduced).
-Row = List[Tuple[SchedulerState, Optional[str]]]
+#: the witness token of the collapsing symmetry (``None`` for
+#: identity/unreduced; see :data:`repro.engine.reduction.WitnessToken`).
+Row = List[Tuple[SchedulerState, object]]
 
 
-def expand_shard(payload: Tuple[ExploreKey, List[SchedulerState]]) -> Tuple[List[Row], Tuple[int, int]]:
+def expand_shard(
+    payload: Tuple[ExploreKey, List[SchedulerState]]
+) -> Tuple[List[Row], Tuple[int, int], Dict[str, int]]:
     """Expand one shard's slice of a BFS wave; the worker map function.
 
     The payload carries the exploration context so one long-lived pool can
     serve any sequence of workloads; reconfiguration is a dict hit when the
-    context repeats.  Returns the successor rows in input order plus the
+    context repeats.  Returns the successor rows in input order, the
     matcher hit/miss delta this batch generated (aggregated by the
-    coordinator into ``Exploration.matcher_stats``).
+    coordinator into ``Exploration.matcher_stats``), and the reduction
+    counter delta (aggregated into ``Exploration.reduction_stats``).
     """
     key, states = payload
-    ts, symmetries = _system(key)
+    ts, pipeline = _system(key)
     stats_before = ts.matcher.stats.snapshot()
+    counters_before = pipeline.counters_snapshot()
     rows: List[Row] = []
     for state in states:
         row: Row = []
-        for raw in ts.successors(state):
-            if symmetries is not None:
-                rep, h = canonicalize(raw, symmetries)
-                row.append((rep, None if h is None else h.name))
-            else:
-                row.append((raw, None))
+        for raw in pipeline.successors(ts, state):
+            rep, h = pipeline.canonicalize(raw)
+            row.append((rep, pipeline.witness_token(h)))
         rows.append(row)
     delta = ts.matcher.stats.delta_since(stats_before)
-    return rows, (delta.hits, delta.misses)
+    return rows, (delta.hits, delta.misses), pipeline.counters_delta(counters_before)
 
 
 # ---------------------------------------------------------------------------
@@ -303,6 +318,7 @@ class ExplorationPool:
         grid: Grid,
         model: str,
         *,
+        reduction: ReductionSpec = None,
         symmetry_reduction: bool = False,
         max_states: int = 200_000,
         start: Optional[SchedulerState] = None,
@@ -313,10 +329,13 @@ class ExplorationPool:
         workload is too small for sharding to pay (estimated states below
         ``serial_threshold``), when the pool has one worker, or when the
         algorithm cannot cross a process boundary; shards over the
-        persistent workers otherwise.  Either way the ``Exploration`` is
-        byte-identical to ``explore(AlgorithmTransitionSystem(...))`` with
-        the same arguments, including ``StateSpaceLimitExceeded`` context
-        on a tripped budget; ``matcher_stats`` reports the route's cache
+        persistent workers otherwise.  The routing estimate is scaled by
+        the a-priori factor of the requested ``reduction`` (a quotiented
+        run is routed on the state count it can actually reach).  Either
+        way the ``Exploration`` is byte-identical to
+        ``explore(AlgorithmTransitionSystem(...))`` with the same
+        arguments, including ``StateSpaceLimitExceeded`` context on a
+        tripped budget; ``matcher_stats`` reports the route's cache
         counters.
         """
         if model not in MODELS:
@@ -325,10 +344,11 @@ class ExplorationPool:
             raise RuntimeError("ExplorationPool is closed")
         from .sharded import explore_sharded  # local import: avoids a module cycle
 
+        spec = normalize_reduction(reduction, symmetry_reduction)
         serial = (
             self.workers <= 1
             or not registered(algorithm)
-            or estimate_states(algorithm, grid, model) < self.serial_threshold
+            or estimate_states(algorithm, grid, model, reduction=spec) < self.serial_threshold
         )
         if serial:
             # workers=1 takes explore_sharded's serial fallback — the one
@@ -339,7 +359,7 @@ class ExplorationPool:
                 grid,
                 model,
                 workers=1,
-                symmetry_reduction=symmetry_reduction,
+                reduction=spec,
                 max_states=max_states,
                 start=start,
                 cache=self.cache,
@@ -349,7 +369,7 @@ class ExplorationPool:
             grid,
             model,
             workers=self.workers,
-            symmetry_reduction=symmetry_reduction,
+            reduction=spec,
             max_states=max_states,
             start=start,
             pool=self,

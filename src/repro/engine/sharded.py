@@ -15,11 +15,13 @@ frontier over a ``multiprocessing`` pool, wave by wave:
 2. **Expand.** Every worker expands its shard with a process-local
    :class:`~repro.engine.transition.AlgorithmTransitionSystem` whose
    matcher is backed by the worker's persistent
-   :func:`~repro.engine.pool.process_cache`.  When ``symmetry_reduction``
-   is on, workers canonicalise their raw successors locally and label each
-   edge with the *name* of the witnessing symmetry.
-3. **Exchange & merge.** Successor rows — ``(canonical state, symmetry
-   name)`` pairs, the only cross-shard traffic — come back to the
+   :func:`~repro.engine.pool.process_cache`, through a process-local
+   :class:`~repro.engine.reduction.ReductionPipeline` rebuilt from the
+   spec carried in the shard payload — so partial-order pruning and
+   canonicalization happen worker-side, and each edge is labelled with the
+   picklable *token* of the witnessing symmetry.
+3. **Exchange & merge.** Successor rows — ``(canonical state, witness
+   token)`` pairs, the only cross-shard traffic — come back to the
    coordinator, which replays them in serial BFS order: states are
    interned in exactly the order the serial explorer would discover them,
    so the merged :class:`~repro.engine.explorer.Exploration` is
@@ -27,6 +29,12 @@ frontier over a ``multiprocessing`` pool, wave by wave:
    labels, and therefore the cycle/termination/coverage verdicts), and a
    tripped state budget raises :class:`StateSpaceLimitExceeded` with the
    exact context — message included — the serial explorer would produce.
+
+Canonicalization stays consistent across shard workers by construction:
+every worker rebuilds the pipeline from the same spec string, the grid
+group and detected color group are pure functions of the (registry-
+resolved) algorithm and grid, and representatives are order-independent
+minima over the product orbit.
 
 By default each call spawns an ephemeral pool that lives for the one
 exploration (worker caches stay warm across its waves).  Pass ``pool=`` —
@@ -55,13 +63,14 @@ from ..core.algorithm import Algorithm
 from .explorer import Exploration, explore
 from .matcher import MatcherCache, MatcherStats
 from .pool import ExploreKey, ExplorationPool, default_workers, expand_shard, registered
+from .reduction import ReductionPipeline, ReductionSpec, normalize_reduction
 from .states import SchedulerState, initial_state
-from .symmetry import GridSymmetry, canonicalize, grid_symmetries
 from .transition import MODELS, AlgorithmTransitionSystem
 
 __all__ = ["explore_sharded", "default_workers"]
 
-#: A shard expansion round: payloads in, ``(rows, (hits, misses))`` out.
+#: A shard expansion round: payloads in, ``(rows, (hits, misses), reduction
+#: counter delta)`` out.
 _MapFn = Callable[[Sequence[Tuple[ExploreKey, List[SchedulerState]]]], list]
 
 
@@ -71,6 +80,7 @@ def explore_sharded(
     model: str,
     *,
     workers: Optional[int] = None,
+    reduction: ReductionSpec = None,
     symmetry_reduction: bool = False,
     max_states: int = 200_000,
     start: Optional[SchedulerState] = None,
@@ -87,6 +97,11 @@ def explore_sharded(
     and message included.  Only ``matcher_stats`` differs (it aggregates
     the per-worker caches).
 
+    ``reduction`` selects the reduction pipeline (spec string or
+    :class:`~repro.engine.reduction.ReductionPipeline`; only the spec
+    crosses the process boundary); ``symmetry_reduction=True`` remains the
+    deprecated alias for ``reduction="grid"``.
+
     ``pool`` reuses a persistent :class:`~repro.engine.pool.ExplorationPool`
     instead of spawning an ephemeral one (``workers`` defaults to the
     pool's worker count).  Falls back to the serial explorer when
@@ -97,6 +112,7 @@ def explore_sharded(
     """
     if model not in MODELS:
         raise ValueError(f"unknown model {model!r}")
+    spec = normalize_reduction(reduction, symmetry_reduction)
     if pool is not None:
         # Never ask a pool for more parallelism than it has: a one-worker
         # pool routes serially (onto its coordinator cache) rather than
@@ -109,11 +125,9 @@ def explore_sharded(
             cache = pool.cache
         matcher = cache.matcher_for(algorithm, grid) if cache is not None else None
         ts = AlgorithmTransitionSystem(algorithm, grid, model, matcher=matcher)
-        return explore(
-            ts, symmetry_reduction=symmetry_reduction, max_states=max_states, start=start
-        )
+        return explore(ts, reduction=spec, max_states=max_states, start=start)
 
-    key: ExploreKey = (algorithm.name, grid.m, grid.n, model, symmetry_reduction)
+    key: ExploreKey = (algorithm.name, grid.m, grid.n, model, spec)
 
     if pool is not None:
         return _sharded_exploration(
@@ -123,7 +137,7 @@ def explore_sharded(
             key,
             lambda payloads: pool.map(expand_shard, payloads),
             workers=workers,
-            symmetry_reduction=symmetry_reduction,
+            spec=spec,
             max_states=max_states,
             start=start,
         )
@@ -141,7 +155,7 @@ def explore_sharded(
             key,
             lambda payloads: ephemeral.map(expand_shard, payloads),
             workers=workers,
-            symmetry_reduction=symmetry_reduction,
+            spec=spec,
             max_states=max_states,
             start=start,
         )
@@ -155,32 +169,25 @@ def _sharded_exploration(
     map_shards: _MapFn,
     *,
     workers: int,
-    symmetry_reduction: bool,
+    spec: str,
     max_states: int,
     start: Optional[SchedulerState],
 ) -> Exploration:
     """The coordinator: partition waves, fan out via ``map_shards``, merge."""
-    symmetries = grid_symmetries(grid, algorithm.chirality) if symmetry_reduction else ()
-    reduce = symmetry_reduction and len(symmetries) > 1
-    # Workers ship edge labels as symmetry *names*; resolve them to the very
-    # instances the serial explorer would attach (``canonicalize`` labels
-    # edges with ``best.inverse()``, and inverses are cached on the shared
-    # group elements, so the lookup below reproduces serial labels exactly).
-    sym_by_name: Dict[str, GridSymmetry] = {
-        gs.inverse().name: gs.inverse() for gs in symmetries if not gs.is_identity
-    }
+    # The coordinator's own pipeline canonicalises the root and resolves the
+    # witness tokens shipped by the workers; for pure grid specs the tokens
+    # resolve to the very cached GridSymmetry instances the serial explorer
+    # attaches, so merged edge labels compare (and even `is`-compare) equal.
+    pipeline = ReductionPipeline(algorithm, grid, model, spec=spec)
+    reduce = pipeline.reduced
 
     root_raw = start if start is not None else initial_state(algorithm, grid)
-    root_sym: Optional[GridSymmetry] = None
-    if reduce:
-        root_state, root_sym = canonicalize(root_raw, symmetries)
-    else:
-        root_state = root_raw
+    root_state, root_sym = pipeline.canonicalize(root_raw)
 
     states: List[SchedulerState] = [root_state]
     index: Dict[SchedulerState, int] = {root_state: 0}
     succ: List[List[int]] = []
-    edge_syms: Optional[List[List[Optional[GridSymmetry]]]] = [] if reduce else None
+    edge_syms: Optional[List[List[Optional[object]]]] = [] if reduce else None
     total_stats = MatcherStats()
 
     wave: List[int] = [0]
@@ -198,9 +205,10 @@ def _sharded_exploration(
         occupied = [shard for shard in range(workers) if shards[shard]]
         results = map_shards([(key, shards[shard]) for shard in occupied])
         rows_by_shard: Dict[int, list] = {}
-        for shard, (rows, (hits, misses)) in zip(occupied, results):
+        for shard, (rows, (hits, misses), reduction_delta) in zip(occupied, results):
             rows_by_shard[shard] = rows
             total_stats.merge(MatcherStats(hits, misses))
+            pipeline.merge_counters(reduction_delta)
 
         # -- merge in serial BFS order --------------------------------
         # Waves visit states in interned order and successors are
@@ -213,8 +221,8 @@ def _sharded_exploration(
             shard, slot = placement[wave_position]
             row_states = rows_by_shard[shard][slot]
             row: List[int] = []
-            row_syms: List[Optional[GridSymmetry]] = []
-            for rep, sym_name in row_states:
+            row_syms: List[Optional[object]] = []
+            for rep, token in row_states:
                 child = index.get(rep)
                 if child is None:
                     child = len(states)
@@ -225,7 +233,7 @@ def _sharded_exploration(
                             f" state budget of {max_states} exceeded after expanding"
                             f" {len(succ)} states ({len(states)} discovered,"
                             f" frontier size {frontier_size}"
-                            + (", symmetry reduction on)" if reduce else ")"),
+                            f"{pipeline.budget_note})",
                             algorithm=algorithm.name,
                             model=model,
                             max_states=max_states,
@@ -237,7 +245,7 @@ def _sharded_exploration(
                     next_wave.append(child)
                 row.append(child)
                 if reduce:
-                    row_syms.append(None if sym_name is None else sym_by_name[sym_name])
+                    row_syms.append(pipeline.witness_from_token(token))
             succ.append(row)
             if reduce:
                 assert edge_syms is not None
@@ -254,4 +262,6 @@ def _sharded_exploration(
         root=0,
         root_sym=root_sym,
         matcher_stats=total_stats.as_dict(),
+        reduction=pipeline.active_spec,
+        reduction_stats=pipeline.stats_report(),
     )

@@ -12,7 +12,18 @@ from typing import List, Tuple
 
 from ..core.algorithm import Algorithm
 
-__all__ = ["default_grid_suite", "scaling_suite"]
+__all__ = [
+    "default_grid_suite",
+    "scaling_suite",
+    "reduction_parity_suite",
+    "REDUCTION_BENCH_CASE",
+]
+
+#: The suite ASYNC case the reduction benchmark and the ``make verify``
+#: smoke guard key on: several robots overlap Look/Compute/Move phases on
+#: this grid, so ``"grid+color+por"`` explores strictly fewer states than
+#: ``"grid"`` (with a byte-identical verdict).
+REDUCTION_BENCH_CASE: Tuple[str, int, int, str] = ("async_phi2_l2_nochir_k4", 4, 4, "ASYNC")
 
 
 def default_grid_suite(algorithm: Algorithm, max_side: int = 9) -> List[Tuple[int, int]]:
@@ -35,6 +46,32 @@ def default_grid_suite(algorithm: Algorithm, max_side: int = 9) -> List[Tuple[in
         (max(m0, max_side - 1), max_side),
     }
     return sorted((m, n) for m, n in candidates if m >= m0 and n >= n0)
+
+
+def reduction_parity_suite() -> List[Tuple[str, int, int, str]]:
+    """Exhaustive-check cases for the reduction verdict-parity tests.
+
+    Every registered algorithm at its minimum supported grid under each of
+    FSYNC, SSYNC and ASYNC (all small enough to explore unreduced in
+    milliseconds), plus a slightly larger ASYNC case per ASYNC-designed
+    algorithm — the regime where several robots hold overlapping
+    Look/Compute/Move phases and partial-order reduction has interleavings
+    to prune — and :data:`REDUCTION_BENCH_CASE`.  The parity tests and the
+    reduction benchmark both draw from this list, so "the suite" means the
+    same thing everywhere.
+    """
+    from ..algorithms import all_algorithms  # local import: avoids a layering cycle
+
+    cases: List[Tuple[str, int, int, str]] = []
+    for name, algorithm in sorted(all_algorithms().items()):
+        m, n = algorithm.min_m, algorithm.min_n
+        for model in ("FSYNC", "SSYNC", "ASYNC"):
+            cases.append((name, m, n, model))
+        if algorithm.synchrony == "ASYNC":
+            cases.append((name, m + 1, n + 1, "ASYNC"))
+    if REDUCTION_BENCH_CASE not in cases:
+        cases.append(REDUCTION_BENCH_CASE)
+    return cases
 
 
 def scaling_suite(algorithm: Algorithm, max_side: int = 11) -> List[Tuple[int, int]]:

@@ -29,15 +29,7 @@ Semantics notes (shared by all consumers):
 from __future__ import annotations
 
 from itertools import combinations, product
-from typing import List, Optional, Sequence, Tuple
-
-try:  # pragma: no cover - Protocol is available on all supported Pythons
-    from typing import Protocol, runtime_checkable
-except ImportError:  # pragma: no cover - very old Pythons
-    Protocol = object  # type: ignore[assignment]
-
-    def runtime_checkable(cls):  # type: ignore[misc]
-        return cls
+from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from ..core.algorithm import Algorithm
 from ..core.grid import Grid

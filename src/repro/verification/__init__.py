@@ -5,6 +5,7 @@ from .campaigns import (
     ParallelCampaignEngine,
     VerificationReport,
     default_grid_suite,
+    exhaustive_sweep,
     grid_sweep,
     stress_test,
     verify_algorithm,
@@ -19,5 +20,6 @@ __all__ = [
     "verify_algorithm",
     "grid_sweep",
     "stress_test",
+    "exhaustive_sweep",
     "default_grid_suite",
 ]

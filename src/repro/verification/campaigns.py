@@ -36,6 +36,7 @@ from ..engine.campaign import (
     ParallelCampaignEngine,
     VerificationReport,
     execute_tasks,
+    exhaustive_check_tasks,
     grid_sweep_tasks,
     stress_test_tasks,
     verify_one,
@@ -51,6 +52,7 @@ __all__ = [
     "verify_algorithm",
     "grid_sweep",
     "stress_test",
+    "exhaustive_sweep",
     "default_grid_suite",
 ]
 
@@ -109,6 +111,29 @@ def stress_test(
 ) -> GridSweepReport:
     """Randomized-scheduler campaign for the SSYNC/ASYNC algorithms."""
     tasks = stress_test_tasks(algorithm, sizes=sizes, models=models, seeds=seeds, tie_break=tie_break)
+    return _run_campaign(algorithm, tasks, pool)
+
+
+def exhaustive_sweep(
+    algorithm: Algorithm,
+    sizes: Optional[Iterable[Tuple[int, int]]] = None,
+    model: str = "FSYNC",
+    reduction: Optional[str] = "grid",
+    max_states: int = 200_000,
+    pool: Optional[ExplorationPool] = None,
+) -> GridSweepReport:
+    """Exhaustive model checks over a family of (small) grid sizes.
+
+    Each task decides Definition 1 over *every* scheduler behaviour by
+    exploring the full state space under the given ``reduction`` pipeline
+    (``"grid"``, ``"grid+color"``, ``"grid+color+por"``, ... — see
+    :mod:`repro.engine.reduction`); the verdicts are reduction-independent,
+    only the explored state counts and wall time shrink.  Reports carry the
+    per-component reduction statistics alongside the cache counters.
+    """
+    tasks = exhaustive_check_tasks(
+        algorithm, sizes=sizes, model=model, reduction=reduction, max_states=max_states
+    )
     return _run_campaign(algorithm, tasks, pool)
 
 
