@@ -4,20 +4,28 @@
 #                  (fails if the 3x3 FSYNC check regresses >3x against
 #                  the BENCH_engine.json baseline)
 #   make test    - tier-1 test suite only
+#   make smoke   - smoke-benchmark guard only (CI uploads its output)
+#   make lint    - ruff over the whole tree (config in pyproject.toml)
 #   make bench   - full engine benchmark; rewrites BENCH_engine.json
 #                  (seed-vs-engine, cold-vs-cached-vs-sharded, cross-size
-#                  cache reuse)
+#                  cache reuse, pooled reuse, reduction quotients,
+#                  distributed-vs-pooled)
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test bench
+.PHONY: verify test smoke lint bench
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-verify: test
+smoke:
 	$(PYTHON) benchmarks/bench_engine.py --smoke
+
+verify: test smoke
+
+lint:
+	ruff check .
 
 bench:
 	$(PYTHON) benchmarks/bench_engine.py

@@ -23,7 +23,12 @@ machine-readable ledger, ``BENCH_engine.json`` at the repo root:
   under ``reduction="grid"`` and under ``reduction="grid+color+por"``:
   the composed pipeline must explore strictly fewer states than the grid
   quotient alone with byte-identical verdicts, and the quotient ratios and
-  wall times land in the ledger.
+  wall times land in the ledger;
+* **distributed campaigns** (PR 5 trajectory) — one exhaustive sweep run
+  through a persistent pool and through two local TCP worker daemons
+  (:class:`~repro.engine.distributed.DistributedBackend`); reports must be
+  identical to the serial engine's both ways, and the pooled-vs-distributed
+  ratio is recorded honestly (on one core the TCP hop is pure overhead).
 
 Run directly:
 
@@ -56,9 +61,13 @@ from repro.core.algorithm import Algorithm
 from repro.engine import (
     REDUCTION_BENCH_CASE,
     AlgorithmTransitionSystem,
+    DistributedBackend,
     ExplorationPool,
     MatcherCache,
+    ParallelCampaignEngine,
     SchedulerState,
+    WorkerDaemon,
+    exhaustive_check_tasks,
     explore,
     explore_sharded,
     initial_state,
@@ -379,6 +388,54 @@ def bench_reduction(repetitions: int) -> Tuple[List[dict], float, float]:
     )
 
 
+def bench_distributed(daemon_workers: int = 2) -> Tuple[List[dict], float]:
+    """The PR-5 trajectory: one exhaustive sweep, pooled vs TCP daemons.
+
+    Runs the identical ``kind="check"`` task list through a persistent
+    :class:`ExplorationPool` and through a :class:`DistributedBackend` fed
+    by ``daemon_workers`` local TCP worker daemons (the same worker loop
+    ``python -m repro.engine.distributed worker`` drives).  Both must
+    reproduce the serial engine's reports exactly (enforced); the recorded
+    ratio is honest — on a single-core container the TCP hop is pure
+    overhead, and the number says by how much.  Returns the rows plus the
+    pooled-vs-distributed wall ratio (> 1 means distributed was faster).
+    """
+    algorithm = get("fsync_phi2_l2_chir_k2")
+    sizes = [(3, 3), (3, 4), (4, 3), (4, 4)]
+    tasks = exhaustive_check_tasks(algorithm, sizes=sizes, reduction="grid")
+    label = f"fsync_phi2_l2_chir_k2 exhaustive sweep x{len(tasks)} [FSYNC]"
+    serial_reports = ParallelCampaignEngine(workers=1).run_tasks(algorithm, tasks)
+    states = sum(report.steps for report in serial_reports)
+
+    start = time.perf_counter()
+    with ExplorationPool(workers=daemon_workers) as pool:
+        pooled_reports = ParallelCampaignEngine(pool=pool).run_tasks(algorithm, tasks)
+    pooled_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with DistributedBackend(min_workers=daemon_workers) as backend:
+        with WorkerDaemon(backend.host, backend.port, workers=daemon_workers).start():
+            distributed_reports = ParallelCampaignEngine(backend=backend).run_tasks(
+                algorithm, tasks
+            )
+    distributed_s = time.perf_counter() - start
+
+    # RuntimeError, not assert: parity must hold even under ``python -O``,
+    # or a diverging backend could be recorded as a passing baseline.
+    if pooled_reports != serial_reports:
+        raise RuntimeError("pooled campaign diverged from the serial engine")
+    if distributed_reports != serial_reports:
+        raise RuntimeError("distributed campaign diverged from the serial engine")
+
+    return (
+        [
+            _case(f"{label} pooled", pooled_s, states, workers=daemon_workers),
+            _case(f"{label} distributed", distributed_s, states, workers=daemon_workers),
+        ],
+        pooled_s / distributed_s if distributed_s else float("inf"),
+    )
+
+
 def bench_sharded_wide(workers: int) -> List[dict]:
     """Serial vs sharded on the widest shared workload (8x8 SSYNC, k=3)."""
     algorithm = get("fsync_phi2_l2_nochir_k3")
@@ -433,6 +490,8 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
     rows += bench_sharded_wide(workers)
     reduction_rows, grid_quotient_x, por_quotient_x = bench_reduction(max(1, repetitions // 10))
     rows += reduction_rows
+    distributed_rows, distributed_x = bench_distributed()
+    rows += distributed_rows
 
     by_case = _by_case(rows)
     engine_x = (
@@ -464,6 +523,10 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
     print(
         f"{reduction_label}: grid+color+por explores {por_quotient_x:.2f}x fewer states"
         f" than the grid quotient (grid is {grid_quotient_x:.2f}x vs unreduced)"
+    )
+    print(
+        f"exhaustive sweep over 2 TCP worker daemons: {distributed_x:.2f}x the pooled"
+        " engine (identical reports; <1 means the TCP hop cost more than it bought)"
     )
 
     ok = True
@@ -522,6 +585,7 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
             "reduction_bench_case": reduction_label,
             "reduction_grid_quotient_vs_unreduced": grid_quotient_x,
             "reduction_grid_color_por_vs_grid": por_quotient_x,
+            "distributed_2daemons_vs_pooled_sweep": distributed_x,
         },
         # The guard compares the machine-independent *ratio* of the kernel
         # to the same-machine seed reference, not absolute states/s.

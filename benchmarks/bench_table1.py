@@ -13,7 +13,7 @@ import pytest
 
 from repro.algorithms import table1_rows
 from repro.analysis import build_table1, render_table1
-from repro.core import Grid, RandomAsync, RandomSubset, run_async, run_fsync, run_ssync
+from repro.core import Grid, RandomAsync, run_async
 from repro.verification import grid_sweep
 
 ROWS = table1_rows()

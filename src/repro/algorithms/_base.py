@@ -9,7 +9,7 @@ northwest corner of the grid exactly as in the paper (``v_{0,0}``,
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Tuple
 
 from ..core.colors import Color
 from ..core.grid import Node

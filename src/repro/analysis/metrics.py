@@ -12,7 +12,6 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..core.execution import ExecutionResult
-from ..core.grid import Node
 
 __all__ = ["ExecutionMetrics", "collect_metrics"]
 

@@ -14,7 +14,7 @@ above it is still unvisited.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from ..core.execution import ExecutionResult
 from ..core.grid import Node

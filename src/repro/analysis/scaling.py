@@ -9,15 +9,20 @@ benchmark (``benchmarks/bench_scaling.py``) reports as a table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 from ..core.algorithm import Algorithm
+from ..core.errors import VerificationError
 from ..core.grid import Grid
 from ..engine.matcher import MatcherCache
-from ..engine.pool import ExplorationPool
+from ..engine.pool import ExplorationPool, registered
 from ..engine.reduction import ReductionSpec, normalize_reduction
+from ..engine.sharded import explore_sharded
 from ..engine.suites import scaling_suite
 from ..engine.walk import TieBreak, run_fsync
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.backend import ExecutionBackend
 
 __all__ = [
     "ScalingPoint",
@@ -44,6 +49,7 @@ def round_complexity_sweep(
     sizes: Optional[Iterable[Tuple[int, int]]] = None,
     cache: Optional[MatcherCache] = None,
     pool: Optional[ExplorationPool] = None,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> List[ScalingPoint]:
     """Measure FSYNC rounds and moves over a family of grid sizes.
 
@@ -55,15 +61,48 @@ def round_complexity_sweep(
     caller's ``cache``, the coordinator cache of the caller's ``pool`` (so
     sweeps share warmth with every other workload threaded through that
     :class:`~repro.engine.pool.ExplorationPool`), or a fresh one.
+
+    ``backend`` routes the sweep's bounded executions through an
+    :class:`~repro.engine.backend.ExecutionBackend` as ordinary walk
+    tasks — each point is a pure function of ``(algorithm, grid)`` under
+    the deterministic FSYNC schedule, so the measured steps/moves are
+    identical wherever the runs execute (TCP worker daemons included).
     """
     if sizes is None:
         sizes = scaling_suite(algorithm)
+    sizes = [(m, n) for m, n in sizes if algorithm.supports_grid(m, n)]
+    if backend is not None and registered(algorithm):
+        from ..engine.campaign import CampaignTask  # local import: layering
+
+        tasks = [
+            CampaignTask(algorithm=algorithm.name, m=m, n=n, model="FSYNC", tie_break=TieBreak.FIRST)
+            for m, n in sizes
+        ]
+        reports = backend.run_tasks(tasks)
+        for report in reports:
+            # The serial path propagates execution errors; a report whose
+            # run never executed (verify_one converts exceptions into
+            # ok=False reports whose reason is the formatted exception)
+            # must not become a silent (0, 0) data point skewing the fit.
+            # Definition-1 outcomes — the run executed but did not
+            # terminate/explore — are real measurements and recorded
+            # exactly as the serial path records them.
+            if not report.ok and not report.reason.startswith(
+                ("did not terminate", "terminated with")
+            ):
+                raise VerificationError(
+                    f"scaling sweep run failed on {report.m}x{report.n}: {report.reason}"
+                )
+        return [
+            ScalingPoint(
+                m=task.m, n=task.n, nodes=task.m * task.n, steps=report.steps, moves=report.moves
+            )
+            for task, report in zip(tasks, reports)
+        ]
     if cache is None:
         cache = pool.cache if pool is not None else MatcherCache()
     points = []
     for m, n in sizes:
-        if not algorithm.supports_grid(m, n):
-            continue
         grid = Grid(m, n)
         result = run_fsync(
             algorithm, grid, tie_break=TieBreak.FIRST, matcher=cache.matcher_for(algorithm, grid)
@@ -100,6 +139,7 @@ def state_space_sweep(
     max_states: int = 200_000,
     pool: Optional[ExplorationPool] = None,
     reduction: ReductionSpec = None,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> List[StateSpacePoint]:
     """Measure reachable-state-space growth over a family of grid sizes.
 
@@ -114,6 +154,9 @@ def state_space_sweep(
     benefits from the patterns already memoized — without the pool, each
     size runs serially on one sweep-local cache.  The counts are identical
     either way (routing and caching never change exploration results).
+    ``backend`` supersedes ``pool``: each size's exploration fans its BFS
+    waves out through ``backend.map_shards`` instead (see
+    :mod:`repro.engine.backend`) — counts still identical.
     """
     if sizes is None:
         sizes = scaling_suite(algorithm)
@@ -123,13 +166,23 @@ def state_space_sweep(
     for m, n in sizes:
         if not algorithm.supports_grid(m, n):
             continue
-        exploration = pool.explore(
-            algorithm,
-            Grid(m, n),
-            model,
-            reduction=spec,
-            max_states=max_states,
-        )
+        if backend is not None:
+            exploration = explore_sharded(
+                algorithm,
+                Grid(m, n),
+                model,
+                reduction=spec,
+                max_states=max_states,
+                backend=backend,
+            )
+        else:
+            exploration = pool.explore(
+                algorithm,
+                Grid(m, n),
+                model,
+                reduction=spec,
+                max_states=max_states,
+            )
         stats = exploration.matcher_stats or {}
         points.append(
             StateSpacePoint(

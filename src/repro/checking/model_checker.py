@@ -44,7 +44,7 @@ algorithms (Table 1, SSYNC/ASYNC rows) on small grids.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.algorithm import Algorithm
 from ..core.grid import Grid
@@ -55,6 +55,9 @@ from ..engine.reduction import ReductionSpec, normalize_reduction
 from ..engine.sharded import explore_sharded
 from ..engine.states import SchedulerState
 from ..engine.transition import AlgorithmTransitionSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.backend import ExecutionBackend
 
 __all__ = ["CheckResult", "explore_state_space", "check_terminating_exploration", "enumerate_reachable"]
 
@@ -133,6 +136,7 @@ def _explore(
     workers: Optional[int],
     cache: Optional[MatcherCache],
     pool: Optional[ExplorationPool],
+    backend: Optional["ExecutionBackend"] = None,
 ) -> Exploration:
     """Route one exploration through the pool, the sharded or the serial explorer.
 
@@ -150,6 +154,20 @@ def _explore(
     if model not in ("FSYNC", "SSYNC", "ASYNC"):
         raise ValueError(f"unknown model {model!r}")
     spec = normalize_reduction(reduction, symmetry_reduction)
+    if backend is not None:
+        # An ExecutionBackend supersedes pool/workers/cache: the wave loop
+        # fans shards out through backend.map_shards (possibly over TCP
+        # worker daemons), byte-identical to the serial path either way.
+        return explore_sharded(
+            algorithm,
+            grid,
+            model,
+            reduction=spec,
+            max_states=max_states,
+            start=start,
+            cache=cache,
+            backend=backend,
+        )
     if pool is not None:
         return pool.explore(
             algorithm,
@@ -184,6 +202,7 @@ def explore_state_space(
     cache: Optional[MatcherCache] = None,
     pool: Optional[ExplorationPool] = None,
     reduction: ReductionSpec = None,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> Dict[SchedulerState, List[SchedulerState]]:
     """Build the successor graph of all reachable scheduler states.
 
@@ -212,6 +231,7 @@ def explore_state_space(
         workers=workers,
         cache=cache,
         pool=pool,
+        backend=backend,
     )
     return exploration.graph()
 
@@ -226,6 +246,7 @@ def enumerate_reachable(
     cache: Optional[MatcherCache] = None,
     pool: Optional[ExplorationPool] = None,
     reduction: ReductionSpec = None,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> int:
     """Number of reachable canonical states (convenience wrapper)."""
     return _explore(
@@ -238,6 +259,7 @@ def enumerate_reachable(
         workers=workers,
         cache=cache,
         pool=pool,
+        backend=backend,
     ).num_states
 
 
@@ -251,6 +273,7 @@ def check_terminating_exploration(
     cache: Optional[MatcherCache] = None,
     pool: Optional[ExplorationPool] = None,
     reduction: ReductionSpec = None,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> CheckResult:
     """Exhaustively decide Definition 1 over all scheduler behaviours.
 
@@ -279,6 +302,7 @@ def check_terminating_exploration(
         workers=workers,
         cache=cache,
         pool=pool,
+        backend=backend,
     )
     terminal_states = len(exploration.terminal_indices())
 

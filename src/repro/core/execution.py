@@ -9,12 +9,11 @@ termination together.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Set
 
 from .configuration import Configuration
 from .grid import Grid, Node
-from .views import Offset
 
 __all__ = ["Event", "ExecutionResult"]
 

@@ -25,9 +25,9 @@ modules and the documentation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from .colors import Color, ColorMultiset, multiset, validate_color
 from .errors import GuardError, RuleError

@@ -33,7 +33,6 @@ from typing import Dict, List, Optional, Tuple
 
 from .colors import ColorMultiset
 from .grid import Grid, Node
-from .robot import Robot
 
 __all__ = [
     "Offset",

@@ -9,7 +9,7 @@ semantics are needed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .colors import Color
 from .configuration import Configuration

@@ -19,6 +19,12 @@ paper are implemented; every other layer consumes it:
 * :mod:`repro.engine.pool` — the persistent :class:`ExplorationPool`:
   long-lived workers with surviving matcher caches, adaptive
   serial/sharded routing;
+* :mod:`repro.engine.backend` — the :class:`ExecutionBackend` protocol
+  (serial / pooled / distributed execution of campaign tasks and
+  exploration shards, all result-identical);
+* :mod:`repro.engine.distributed` — TCP worker daemons and the
+  length-prefixed-pickle coordinator (:class:`DistributedBackend`) that
+  fans the same payloads out beyond one machine;
 * :mod:`repro.engine.walk` — the lazy single-path simulator;
 * :mod:`repro.engine.suites` — shared grid-size suites;
 * :mod:`repro.engine.campaign` — batched serial/parallel campaign runner.
@@ -40,6 +46,7 @@ from .campaign import (
     stress_test_tasks,
     verify_one,
 )
+from .backend import ExecutionBackend, PoolBackend, SerialBackend, backend_cache
 from .explorer import Exploration, explore, guaranteed_nodes, has_cycle, topological_order
 from .matcher import LocalMatcher, MatcherCache, MatcherStats
 from .pool import ExplorationPool, default_workers, estimate_states, process_cache
@@ -73,6 +80,21 @@ from .suites import (
 from .symmetry import GridSymmetry, canonicalize, grid_symmetries, transform_state
 from .transition import MODELS, AlgorithmTransitionSystem, TransitionSystem
 from .walk import TieBreak, default_step_budget, run, run_async, run_fsync, run_ssync
+
+#: Lazily re-exported from :mod:`repro.engine.distributed` (PEP 562): the
+#: daemon CLI runs ``python -m repro.engine.distributed``, and importing
+#: that module eagerly here would make ``runpy`` execute it twice.
+_DISTRIBUTED_EXPORTS = frozenset(
+    {"DistributedBackend", "WorkerDaemon", "run_worker", "send_message", "recv_message"}
+)
+
+
+def __getattr__(name):
+    if name in _DISTRIBUTED_EXPORTS:
+        from . import distributed
+
+        return getattr(distributed, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     # states
@@ -114,6 +136,16 @@ __all__ = [
     "default_workers",
     "estimate_states",
     "process_cache",
+    # backends
+    "ExecutionBackend",
+    "SerialBackend",
+    "PoolBackend",
+    "DistributedBackend",
+    "WorkerDaemon",
+    "backend_cache",
+    "run_worker",
+    "send_message",
+    "recv_message",
     "has_cycle",
     "topological_order",
     "guaranteed_nodes",

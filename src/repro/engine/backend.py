@@ -1,0 +1,217 @@
+"""Pluggable execution backends for campaigns and sharded exploration.
+
+Every parallel consumer in the engine funnels its work through two
+primitive shapes, both picklable by construction since PR 3/4:
+
+* **campaign tasks** — :class:`~repro.engine.campaign.CampaignTask` work
+  items executed by :func:`~repro.engine.campaign.run_task`, each a pure
+  function of the task (algorithms travel by registry name, runs are
+  driven by explicit seeds);
+* **shard payloads** — ``(ExploreKey, [states])`` slices of one BFS wave
+  expanded by :func:`~repro.engine.pool.expand_shard`, which rebuilds the
+  transition system and reduction pipeline from the spec in the key.
+
+An :class:`ExecutionBackend` is anything that can evaluate those two
+shapes and hand the results back *in submission order*:
+
+* :class:`SerialBackend` — in the calling process, on one persistent
+  :class:`~repro.engine.matcher.MatcherCache`;
+* :class:`PoolBackend` — on a (possibly shared) long-lived
+  :class:`~repro.engine.pool.ExplorationPool`, one machine;
+* :class:`~repro.engine.distributed.DistributedBackend` — on TCP worker
+  daemons that may live on other machines (see
+  :mod:`repro.engine.distributed`).
+
+Because the work shapes are pure functions of their payloads and every
+backend returns results in submission order, swapping the backend never
+changes a report or an exploration: the campaign engine merges reports by
+task index and the sharded coordinator replays successor rows in serial
+BFS order, so the output is the one the serial engine produces.  (The
+only fields that may differ are the cache hit/miss counters, which are
+excluded from report equality for exactly this reason.)
+
+``backend=`` is accepted — and takes precedence over ``pool=`` /
+``workers=`` — on :class:`~repro.engine.campaign.ParallelCampaignEngine`,
+:func:`~repro.engine.sharded.explore_sharded`, the three
+:mod:`repro.checking` entry points, the :mod:`repro.verification`
+campaigns and the :mod:`repro.analysis.scaling` sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from .campaign import CampaignTask, VerificationReport, run_task
+from .matcher import MatcherCache
+from .pool import ExploreKey, ExplorationPool, expand_shard, process_cache
+from .states import SchedulerState
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "PoolBackend",
+    "ShardPayload",
+    "ShardResult",
+    "backend_cache",
+]
+
+#: One shard of a BFS wave: the exploration context plus the states to
+#: expand (the input of :func:`repro.engine.pool.expand_shard`).
+ShardPayload = Tuple[ExploreKey, List[SchedulerState]]
+
+#: One expanded shard: successor rows in input order, the matcher
+#: hit/miss delta, and the reduction-counter delta (the output of
+#: :func:`repro.engine.pool.expand_shard`).
+ShardResult = Tuple[list, Tuple[int, int], Dict[str, int]]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Where campaign tasks and exploration shards actually run.
+
+    Implementations promise that :meth:`run_tasks` and :meth:`map_shards`
+    return one result per submitted item, *in submission order*, each the
+    value the corresponding worker function (``run_task`` /
+    ``expand_shard``) produces for that item — regardless of which worker
+    evaluated it, in which order, or how many times a failed attempt was
+    retried.  That ordering contract is what lets every consumer stay
+    byte-identical to the serial engine.
+    """
+
+    #: How many items the backend can usefully evaluate concurrently; the
+    #: sharded explorer uses this as its wave shard count.
+    parallelism: int
+
+    def run_tasks(self, tasks: Sequence[CampaignTask]) -> List[VerificationReport]:
+        """Evaluate campaign tasks; reports come back in task order."""
+        ...
+
+    def map_shards(self, payloads: Sequence[ShardPayload]) -> List[ShardResult]:
+        """Expand one BFS wave's shards; results come back in payload order."""
+        ...
+
+    def close(self) -> None:
+        """Release workers/sockets; the backend cannot be used afterwards."""
+        ...
+
+    def __enter__(self) -> "ExecutionBackend": ...
+
+    def __exit__(self, exc_type, exc, tb) -> None: ...
+
+
+class SerialBackend:
+    """Evaluate everything in the calling process, on one persistent cache.
+
+    The reference implementation of the backend contract: tasks and shards
+    run through the very same worker functions the parallel backends ship
+    out (:func:`~repro.engine.campaign.run_task`,
+    :func:`~repro.engine.pool.expand_shard`), so its results *are* the
+    parity baseline the other backends are tested against.  Matching runs
+    against this process's persistent
+    :func:`~repro.engine.pool.process_cache`, exactly as it would inside a
+    pool worker — the backend equivalent of a one-worker pool that stays
+    warm across workloads.
+    """
+
+    def __init__(self) -> None:
+        self.parallelism = 1
+        self._closed = False
+
+    def run_tasks(self, tasks: Sequence[CampaignTask]) -> List[VerificationReport]:
+        self._check_open()
+        return [run_task(task) for task in tasks]
+
+    def map_shards(self, payloads: Sequence[ShardPayload]) -> List[ShardResult]:
+        self._check_open()
+        return [expand_shard(payload) for payload in payloads]
+
+    # -- lifecycle -----------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "SerialBackend":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class PoolBackend:
+    """Evaluate on a persistent :class:`~repro.engine.pool.ExplorationPool`.
+
+    Wraps an existing pool (not closed with the backend — it may be shared
+    with other consumers) or owns a fresh one built from ``workers=``
+    (closed with the backend).  Tasks and shards run on the pool's
+    long-lived workers, whose per-process matcher caches stay warm across
+    workloads; ``pool.map`` preserves submission order, which discharges
+    the ordering contract.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[ExplorationPool] = None,
+        *,
+        workers: Optional[int] = None,
+    ) -> None:
+        if pool is not None and workers is not None and workers != pool.workers:
+            raise ValueError("pass either an existing pool or a workers count, not both")
+        self._owns_pool = pool is None
+        self.pool = pool if pool is not None else ExplorationPool(workers=workers)
+        self._closed = False
+
+    @property
+    def parallelism(self) -> int:
+        return self.pool.workers
+
+    def run_tasks(self, tasks: Sequence[CampaignTask]) -> List[VerificationReport]:
+        self._check_open()
+        return self.pool.map(run_task, tasks, chunksize=4)
+
+    def map_shards(self, payloads: Sequence[ShardPayload]) -> List[ShardResult]:
+        self._check_open()
+        return self.pool.map(expand_shard, payloads)
+
+    # -- lifecycle -----------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_pool:
+            self.pool.close()
+
+    def __enter__(self) -> "PoolBackend":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def backend_cache(backend) -> Optional[MatcherCache]:
+    """The in-process cache of ``backend``, when it has one.
+
+    Serial fallbacks (unregistered ad-hoc algorithms cannot cross a
+    process boundary) run in the calling process; routing them onto the
+    backend's own cache — the pool's coordinator cache for
+    :class:`PoolBackend`, this process's
+    :func:`~repro.engine.pool.process_cache` for :class:`SerialBackend`
+    (whose "worker" *is* this process) — keeps them as warm as the
+    backend's registered workloads.  Backends without an in-process cache
+    (TCP daemons keep theirs remote) return ``None`` and the caller falls
+    back to a fresh/explicit cache.
+    """
+    if isinstance(backend, SerialBackend):
+        return process_cache()
+    pool = getattr(backend, "pool", None)
+    if isinstance(pool, ExplorationPool):
+        return pool.cache
+    return None

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.algorithm import Algorithm
 from ..core.errors import VerificationError
@@ -36,6 +36,9 @@ from .pool import ExplorationPool, default_workers, process_cache, registered
 from .reduction import normalize_reduction
 from .suites import default_grid_suite
 from .walk import TieBreak, run_async, run_fsync, run_ssync
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a module cycle)
+    from .backend import ExecutionBackend
 
 __all__ = [
     "VerificationReport",
@@ -517,6 +520,15 @@ class ParallelCampaignEngine:
     task list (and from any sharded exploration run on the same pool) to
     the next.  ``workers`` defaults to the pool's worker count, else to
     the affinity-aware :func:`~repro.engine.pool.default_workers`.
+
+    ``backend`` — any :class:`~repro.engine.backend.ExecutionBackend` —
+    supersedes both: task lists go to ``backend.run_tasks`` verbatim, so
+    the same engine drives the serial, pooled and TCP-distributed
+    (:class:`~repro.engine.distributed.DistributedBackend`) execution
+    paths.  Reports are identical whichever backend runs them (every
+    report is a pure function of its task and results return in task
+    order); unregistered ad-hoc algorithms still fall back to in-process
+    execution, since their rule sets cannot cross a process boundary.
     """
 
     def __init__(
@@ -524,25 +536,40 @@ class ParallelCampaignEngine:
         workers: Optional[int] = None,
         chunksize: int = 4,
         pool: Optional[ExplorationPool] = None,
+        backend: Optional["ExecutionBackend"] = None,
     ) -> None:
         if workers is None:
-            workers = pool.workers if pool is not None else default_workers()
+            if backend is not None:
+                workers = max(1, int(getattr(backend, "parallelism", 1) or 1))
+            else:
+                workers = pool.workers if pool is not None else default_workers()
         self.workers = workers
         self.chunksize = max(1, chunksize)
         self.pool = pool
+        self.backend = backend
 
     # -- execution -----------------------------------------------------
     def run_tasks(self, algorithm: Algorithm, tasks: Sequence[CampaignTask]) -> List[VerificationReport]:
         tasks = list(tasks)
+        if self.backend is not None and tasks and registered(algorithm):
+            # Even a single task ships: a remote backend's workers are not
+            # this process, and their caches are the ones worth warming.
+            return self.backend.run_tasks(tasks)
         # A pool can never offer more parallelism than it has workers.
         workers = min(self.workers, self.pool.workers) if self.pool is not None else self.workers
         if workers <= 1 or len(tasks) <= 1 or not registered(algorithm):
-            # In-process fallback; on the pool's coordinator cache when the
-            # engine has one, so serially-routed campaigns stay as warm
-            # across calls as the pooled workers would have been.
-            return execute_tasks(
-                algorithm, tasks, cache=self.pool.cache if self.pool is not None else None
-            )
+            # In-process fallback; on the pool's (or backend's) coordinator
+            # cache when the engine has one, so serially-routed campaigns
+            # stay as warm across calls as the workers would have been.
+            if self.pool is not None:
+                cache = self.pool.cache
+            elif self.backend is not None:
+                from .backend import backend_cache  # local import: module cycle
+
+                cache = backend_cache(self.backend)
+            else:
+                cache = None
+            return execute_tasks(algorithm, tasks, cache=cache)
         if self.pool is not None:
             return self.pool.map(run_task, tasks, chunksize=self.chunksize)
         import multiprocessing

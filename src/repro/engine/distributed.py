@@ -1,0 +1,693 @@
+"""Distributed campaign execution over TCP worker daemons.
+
+This module extends the backend abstraction of :mod:`repro.engine.backend`
+beyond one machine.  A :class:`DistributedBackend` is a coordinator: it
+listens on a TCP port, accepts connections from worker daemons started as
+
+.. code-block:: console
+
+    python -m repro.engine.distributed worker --connect HOST:PORT --workers N
+
+and feeds them the same two payload shapes every other backend evaluates —
+:class:`~repro.engine.campaign.CampaignTask` work items and
+``(ExploreKey, [states])`` exploration shards.  Workers rebuild transition
+systems and reduction pipelines from the specs inside the payloads
+(exactly like :data:`~repro.engine.pool.ExploreKey` rebuilding works for
+pool workers today), evaluate them with the battle-tested worker functions
+(:func:`~repro.engine.campaign.run_task`,
+:func:`~repro.engine.pool.expand_shard`) against their process-persistent
+:func:`~repro.engine.pool.process_cache`, and stream the results back.
+
+Wire protocol
+=============
+Every message is a **length-prefixed pickle**: an 8-byte big-endian
+unsigned length followed by that many bytes of
+``pickle.dumps(obj, HIGHEST_PROTOCOL)``.  Messages are tuples tagged by
+their first element:
+
+==================================  =======================================
+worker -> coordinator               coordinator -> worker
+==================================  =======================================
+``("hello", info_dict)``            ``("work", item_id, kind, payload)``
+``("result", item_id, value)``      ``("shutdown",)``
+``("error", item_id, traceback)``
+==================================  =======================================
+
+``kind`` is ``"task"`` (evaluate with ``run_task``) or ``"shard"``
+(evaluate with ``expand_shard``).  Both the coordinator and the daemons
+are expected to live inside one trust domain (pickle executes arbitrary
+code by design — never expose the port to untrusted peers).
+
+Scheduling, retries and determinism
+===================================
+The coordinator keeps one queue of outstanding items per job.  Each
+connection is served by a thread that pulls an item, ships it, and blocks
+for the reply — so a worker daemon started with ``--workers N`` (which
+spawns N connections, each backed by its own OS process) pulls N items at
+a time, and scheduling is naturally load-balanced: fast workers come back
+for more.
+
+Workers may join at any time (new connections start pulling from the
+current queue) and die at any time: when a connection breaks with an item
+in flight, the coordinator requeues that item for the next available
+worker and drops the connection.  This is safe because both payload kinds
+are **pure functions of their payload** — re-evaluating a task or a shard
+on another worker yields the identical value, so at-least-once delivery
+still produces exactly-once results.
+
+Results are stored by item id and handed back in submission order, which
+is the whole determinism story: the campaign engine's reports come back
+in task order (identical to the serial engine's, because each report is a
+pure function of its task), and the sharded explorer's rows come back in
+shard order, after which the coordinator-side merge replays serial BFS
+order exactly as it does for the in-process pool.  Which daemon evaluated
+what, and in which order, is unobservable in the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import os
+import pickle
+import socket
+import struct
+import sys
+import threading
+import time
+import traceback
+from collections import deque
+from typing import List, Optional, Sequence, Tuple
+
+from .campaign import CampaignTask, VerificationReport, run_task
+from .pool import expand_shard
+
+__all__ = [
+    "DistributedBackend",
+    "WorkerDaemon",
+    "send_message",
+    "recv_message",
+    "run_worker",
+    "main",
+]
+
+#: Frame header: 8-byte big-endian unsigned payload length.
+_HEADER = struct.Struct("!Q")
+
+#: Refuse to allocate buffers for frames beyond this size (a corrupted or
+#: hostile header would otherwise ask for up to 2**64 bytes).
+MAX_FRAME_BYTES = 1 << 32
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+def encode_frame(obj: object) -> bytes:
+    """The wire form of one message: length header plus pickle body."""
+    body = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(body)) + body
+
+
+def send_message(sock: socket.socket, obj: object) -> None:
+    """Send one length-prefixed pickle frame."""
+    sock.sendall(encode_frame(obj))
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    """Read exactly ``size`` bytes or raise :class:`ConnectionError` on EOF."""
+    buffer = io.BytesIO()
+    remaining = size
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        buffer.write(chunk)
+        remaining -= len(chunk)
+    return buffer.getvalue()
+
+
+def recv_message(sock: socket.socket) -> object:
+    """Receive one length-prefixed pickle frame (blocking)."""
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+class _Job:
+    """One in-flight batch: payloads out, results (by item id) back in."""
+
+    def __init__(self, kind: str, payloads: Sequence[object]) -> None:
+        self.kind = kind
+        self.payloads = list(payloads)
+        self.results: List[object] = [None] * len(self.payloads)
+        self.remaining = len(self.payloads)
+        self.failure: Optional[str] = None
+        #: Item ids whose first attempt died with its worker; kept for
+        #: observability (tests assert the retry path actually ran).
+        self.retried: List[int] = []
+
+
+class DistributedBackend:
+    """Coordinator end of the TCP worker protocol; an ``ExecutionBackend``.
+
+    Binds ``host:port`` (``port=0`` picks an ephemeral port, published as
+    :attr:`port`) and accepts worker-daemon connections in the background.
+    ``min_workers`` is how many connections :meth:`run_tasks` /
+    :meth:`map_shards` wait for before shipping work (daemons may be
+    launched before or after the backend — workers retry connecting, the
+    backend waits for registrations), and ``start_timeout`` bounds that
+    wait plus any mid-job window in which every worker has died and no
+    replacement joins.
+
+    One job (one batch of tasks or one wave of shards) runs at a time;
+    results return in submission order.  Items in flight on a connection
+    that breaks are requeued for the remaining workers — see the module
+    docstring for why retries cannot change results.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        min_workers: int = 1,
+        start_timeout: float = 60.0,
+    ) -> None:
+        if min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        self.min_workers = min_workers
+        self.start_timeout = start_timeout
+        self._lock = threading.Condition()
+        self._queue: deque = deque()  # (job, item_id) pairs
+        self._job: Optional[_Job] = None
+        self._closed = False
+        self._live_workers = 0
+        self._workers_ever = 0
+        #: Items requeued after their worker connection died mid-flight
+        #: (observability: the smoke/regression tests assert on it).
+        self.retries_total = 0
+        self._threads: List[threading.Thread] = []
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._listener.bind((host, port))
+            self._listener.listen()
+            self.host, self.port = self._listener.getsockname()[:2]
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="distributed-accept", daemon=True
+            )
+            self._accept_thread.start()
+        except BaseException:
+            # Partial construction must not leak the socket.
+            self._listener.close()
+            raise
+
+    # -- introspection -------------------------------------------------
+    @property
+    def address(self) -> str:
+        """The ``HOST:PORT`` string daemons should ``--connect`` to."""
+        return f"{self.host}:{self.port}"
+
+    @property
+    def parallelism(self) -> int:
+        """The backend's shard/fan-out width.
+
+        At least ``min_workers`` even before any daemon has registered:
+        consumers read this *before* the first job ships (the sharded
+        explorer freezes its shard count up front, while the worker wait
+        happens inside the first ``map_shards`` call), and partitioning
+        for fewer shards than the promised workers would silently
+        serialize the whole workload onto one connection.
+        """
+        with self._lock:
+            return max(1, self.min_workers, self._live_workers)
+
+    @property
+    def workers_ever(self) -> int:
+        """Total worker connections accepted over the backend's lifetime."""
+        with self._lock:
+            return self._workers_ever
+
+    # -- connection handling -------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:  # listener closed
+                return
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), name="distributed-serve", daemon=True
+            )
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    return
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            hello = recv_message(conn)
+        except Exception:  # noqa: BLE001 - bad handshake, drop the connection
+            conn.close()
+            return
+        if not (isinstance(hello, tuple) and hello and hello[0] == "hello"):
+            conn.close()
+            return
+        with self._lock:
+            if self._closed:
+                conn.close()
+                return
+            self._live_workers += 1
+            self._workers_ever += 1
+            self._lock.notify_all()
+        try:
+            self._pull_loop(conn)
+        finally:
+            with self._lock:
+                self._live_workers -= 1
+                # Retired connections must not accumulate: a long-lived
+                # coordinator sees arbitrarily many daemons come and go.
+                try:
+                    self._threads.remove(threading.current_thread())
+                except ValueError:  # pragma: no cover - close() raced us
+                    pass
+                self._lock.notify_all()
+            conn.close()
+
+    def _pull_loop(self, conn: socket.socket) -> None:
+        """Pull items for one connection until shutdown or connection death."""
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._lock.wait()
+                if self._closed:
+                    try:
+                        send_message(conn, ("shutdown",))
+                    except OSError:
+                        pass
+                    return
+                job, item_id = self._queue.popleft()
+            try:
+                # Serialize before touching the socket: an unpicklable
+                # payload is a deterministic caller error, and requeueing
+                # it would just kill every worker in turn.
+                frame = encode_frame(("work", item_id, job.kind, job.payloads[item_id]))
+            except Exception:  # noqa: BLE001 - reported as the job's failure
+                self._record_reply(
+                    job,
+                    item_id,
+                    ("error", item_id, f"unpicklable payload:\n{traceback.format_exc()}"),
+                )
+                continue
+            try:
+                conn.sendall(frame)
+                reply = recv_message(conn)
+            except Exception:  # noqa: BLE001 - any transport/decode failure
+                # The worker died — or sent something the coordinator
+                # cannot deserialize (version skew raises AttributeError/
+                # ImportError from pickle.loads, not just UnpicklingError).
+                # Either way: hand the in-flight item to the surviving
+                # workers and retire this connection, so the job can never
+                # hang on an item nobody owns.  Items of a job that has
+                # already been abandoned (failed and purged by _run_job)
+                # are dropped instead — requeueing them would make the
+                # *next* job's workers evaluate stale payloads.
+                with self._lock:
+                    if self._job is job:
+                        job.retried.append(item_id)
+                        self.retries_total += 1
+                        self._queue.append((job, item_id))
+                        self._lock.notify_all()
+                return
+            self._record_reply(job, item_id, reply)
+
+    def _record_reply(self, job: _Job, item_id: int, reply: object) -> None:
+        with self._lock:
+            if not (isinstance(reply, tuple) and len(reply) == 3 and reply[1] == item_id):
+                job.failure = f"malformed reply for item {item_id}: {reply!r}"
+            elif reply[0] == "error":
+                job.failure = f"worker failed on item {item_id}:\n{reply[2]}"
+            elif reply[0] == "result":
+                job.results[item_id] = reply[2]
+            else:
+                job.failure = f"unknown reply tag {reply[0]!r} for item {item_id}"
+            job.remaining -= 1
+            self._lock.notify_all()
+
+    # -- job execution -------------------------------------------------
+    def _wait_for_workers(self, deadline: float) -> None:
+        with self._lock:
+            while self._live_workers < self.min_workers:
+                if self._closed:
+                    raise RuntimeError("DistributedBackend is closed")
+                timeout = deadline - time.monotonic()
+                if timeout <= 0:
+                    raise TimeoutError(
+                        f"no {self.min_workers} worker daemon(s) connected to {self.address}"
+                        f" within {self.start_timeout:.0f}s"
+                        f" ({self._live_workers} currently connected)"
+                    )
+                self._lock.wait(timeout=timeout)
+
+    def _run_job(self, kind: str, payloads: Sequence[object]) -> List[object]:
+        if self._closed:
+            raise RuntimeError("DistributedBackend is closed")
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        deadline = time.monotonic() + self.start_timeout
+        self._wait_for_workers(deadline)
+        job = _Job(kind, payloads)
+        with self._lock:
+            if self._job is not None:
+                raise RuntimeError("DistributedBackend runs one job at a time")
+            self._job = job
+            self._queue.extend((job, item_id) for item_id in range(len(payloads)))
+            self._lock.notify_all()
+            try:
+                while job.remaining and job.failure is None:
+                    if self._closed:
+                        raise RuntimeError("DistributedBackend closed mid-job")
+                    if self._live_workers == 0:
+                        # Every worker is gone with work outstanding; allow
+                        # the (re)connect window before declaring failure.
+                        if not self._lock.wait(timeout=self.start_timeout):
+                            if self._live_workers == 0:
+                                raise RuntimeError(
+                                    f"all worker daemons disconnected from {self.address}"
+                                    f" with {job.remaining} item(s) outstanding and none"
+                                    f" rejoined within {self.start_timeout:.0f}s"
+                                )
+                    else:
+                        self._lock.wait()
+            finally:
+                self._job = None
+                # Drop any unshipped items of an abandoned job so the next
+                # job's queue starts clean.
+                self._queue = deque(entry for entry in self._queue if entry[0] is not job)
+        if job.failure is not None:
+            raise RuntimeError(f"distributed {kind} execution failed: {job.failure}")
+        return job.results
+
+    # -- ExecutionBackend ----------------------------------------------
+    def run_tasks(self, tasks: Sequence[CampaignTask]) -> List[VerificationReport]:
+        """Evaluate campaign tasks on the worker daemons, in task order."""
+        return self._run_job("task", tasks)  # type: ignore[return-value]
+
+    def map_shards(self, payloads: Sequence[object]) -> List[object]:
+        """Expand one BFS wave's shards on the worker daemons, in order."""
+        return self._run_job("shard", payloads)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting, tell connected daemons to shut down, free the port."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._lock.notify_all()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        # Connection threads are daemonic and exit on the closed flag (or
+        # their socket erroring); give them a moment so well-behaved
+        # daemons receive their shutdown frame before we return.
+        for thread in list(self._threads):
+            thread.join(timeout=1.0)
+
+    def __enter__(self) -> "DistributedBackend":
+        if self._closed:
+            raise RuntimeError("DistributedBackend is closed")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker daemon
+# ---------------------------------------------------------------------------
+def _connect_with_retry(host: str, port: int, timeout: float) -> socket.socket:
+    """Dial the coordinator, retrying until ``timeout`` elapses.
+
+    Daemons may legitimately start before the coordinator binds its port
+    (CI launches them side by side), so refused connections retry on a
+    short backoff instead of failing fast.
+    """
+    deadline = time.monotonic() + timeout
+    delay = 0.05
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=timeout)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+def worker_connection_loop(host: str, port: int, *, connect_timeout: float = 60.0) -> int:
+    """One worker connection: register, pull work, stream results back.
+
+    Runs in its own process (one per ``--workers`` slot), so the matcher
+    tables :func:`~repro.engine.pool.process_cache` accumulates survive
+    across every task and shard this connection ever evaluates — the
+    distributed analogue of a pool worker's cache persistence.  Returns
+    the number of items evaluated (after an orderly shutdown frame).
+    """
+    sock = _connect_with_retry(host, port, connect_timeout)
+    evaluated = 0
+    try:
+        send_message(sock, ("hello", {"pid": os.getpid(), "host": socket.gethostname()}))
+        while True:
+            try:
+                message = recv_message(sock)
+            except Exception:  # noqa: BLE001 - treat any decode failure as loss
+                return evaluated  # coordinator went away; nothing to clean up
+            if not isinstance(message, tuple) or not message:
+                continue
+            if message[0] == "shutdown":
+                return evaluated
+            if message[0] != "work":
+                continue
+            _tag, item_id, kind, payload = message
+            try:
+                if kind == "task":
+                    value = run_task(payload)
+                elif kind == "shard":
+                    value = expand_shard(payload)
+                else:
+                    raise ValueError(f"unknown work kind {kind!r}")
+            except Exception:  # noqa: BLE001 - shipped back, not swallowed
+                send_message(sock, ("error", item_id, traceback.format_exc()))
+            else:
+                send_message(sock, ("result", item_id, value))
+                evaluated += 1
+    finally:
+        sock.close()
+
+
+class WorkerDaemon:
+    """N worker connections to one coordinator, each in its own process.
+
+    The object the ``worker`` CLI subcommand drives, and the in-process
+    handle tests and benchmarks use.  Spawning is all-or-nothing: if the
+    ``i``-th worker process fails to start, the ``i-1`` already running are
+    terminated and joined before the error propagates — a partially
+    started daemon never leaks processes.
+    """
+
+    def __init__(self, host: str, port: int, workers: int = 1, *, connect_timeout: float = 60.0) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.connect_timeout = connect_timeout
+        self.processes: list = []
+
+    def start(self) -> "WorkerDaemon":
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        try:
+            for _ in range(self.workers):
+                process = context.Process(
+                    target=worker_connection_loop,
+                    args=(self.host, self.port),
+                    kwargs={"connect_timeout": self.connect_timeout},
+                    daemon=True,
+                )
+                self.processes.append(process)
+                process.start()
+        except BaseException:
+            self.terminate()
+            raise
+        return self
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the worker processes to exit (orderly shutdown)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for process in self.processes:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            process.join(remaining)
+
+    def terminate(self) -> None:
+        """Hard-stop every worker process that is still alive."""
+        for process in self.processes:
+            if process.pid is not None and process.is_alive():
+                process.terminate()
+        for process in self.processes:
+            if process.pid is not None:
+                process.join(timeout=5.0)
+        self.processes = []
+
+    @property
+    def alive(self) -> int:
+        return sum(1 for process in self.processes if process.is_alive())
+
+    def __enter__(self) -> "WorkerDaemon":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.terminate()
+
+
+def run_worker(host: str, port: int, workers: int = 1, *, connect_timeout: float = 60.0) -> int:
+    """Blocking daemon entry point: serve until the coordinator shuts us down."""
+    daemon = WorkerDaemon(host, port, workers, connect_timeout=connect_timeout)
+    daemon.start()
+    try:
+        daemon.join()
+    except KeyboardInterrupt:  # pragma: no cover - interactive convenience
+        daemon.terminate()
+        return 130
+    finally:
+        daemon.terminate()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def _parse_endpoint(value: str) -> Tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def _smoke(daemons: int, workers_per_daemon: int, verbose: bool) -> int:
+    """The CI smoke check: distributed vs serial verdict parity.
+
+    Starts a coordinator on an ephemeral port, launches ``daemons`` worker
+    daemons through the real CLI (``python -m repro.engine.distributed
+    worker --connect ...``, each its own OS process tree), runs a tiny
+    exhaustive sweep through the :class:`DistributedBackend`, and compares
+    the reports against the serial engine's.  Exits nonzero on any
+    divergence — this is the job CI runs on every push.
+    """
+    import subprocess
+
+    from ..algorithms import get
+    from .campaign import ParallelCampaignEngine
+
+    algorithm = get("fsync_phi2_l2_chir_k2")
+    sizes = [(2, 3), (3, 3), (3, 4)]
+    serial = ParallelCampaignEngine(workers=1).exhaustive_sweep(
+        algorithm, sizes=sizes, model="FSYNC", reduction="grid"
+    )
+    with DistributedBackend(min_workers=daemons) as backend:
+        command = [
+            sys.executable,
+            "-m",
+            "repro.engine.distributed",
+            "worker",
+            "--connect",
+            backend.address,
+            "--workers",
+            str(workers_per_daemon),
+        ]
+        print(f"coordinator listening on {backend.address}")
+        print(f"launching {daemons} daemon(s): {' '.join(command)}")
+        procs = [subprocess.Popen(command) for _ in range(daemons)]
+        try:
+            distributed = ParallelCampaignEngine(backend=backend).exhaustive_sweep(
+                algorithm, sizes=sizes, model="FSYNC", reduction="grid"
+            )
+        finally:
+            backend.close()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+    if verbose:
+        for serial_report, dist_report in zip(serial.reports, distributed.reports):
+            marker = "==" if serial_report == dist_report else "!!"
+            print(f"  {marker} {dist_report}")
+    if distributed.reports != serial.reports:
+        print("FAIL: distributed reports diverged from the serial engine", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {len(distributed.reports)} exhaustive-check reports identical to the serial"
+        f" engine across {backend.workers_ever} worker connection(s)"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.distributed",
+        description="TCP worker daemons for distributed verification campaigns.",
+    )
+    subcommands = parser.add_subparsers(dest="command", required=True)
+
+    worker = subcommands.add_parser("worker", help="serve a coordinator until shut down")
+    worker.add_argument(
+        "--connect",
+        type=_parse_endpoint,
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator endpoint (DistributedBackend.address)",
+    )
+    worker.add_argument(
+        "--workers", type=int, default=1, help="worker processes (connections) to run"
+    )
+    worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=60.0,
+        help="seconds to keep retrying the initial connection",
+    )
+
+    smoke = subcommands.add_parser(
+        "smoke", help="launch local daemons and assert distributed == serial verdicts"
+    )
+    smoke.add_argument("--daemons", type=int, default=2, help="worker daemons to launch")
+    smoke.add_argument("--workers", type=int, default=1, help="worker processes per daemon")
+    smoke.add_argument("--verbose", action="store_true", help="print every report pair")
+
+    args = parser.parse_args(argv)
+    # Resolve entry points off the canonically imported module: under
+    # ``python -m`` this file executes as ``__main__``, and spawned worker
+    # processes must reference picklable, importable functions.
+    from repro.engine import distributed as canonical
+
+    if args.command == "worker":
+        host, port = args.connect
+        return canonical.run_worker(
+            host, port, args.workers, connect_timeout=args.connect_timeout
+        )
+    return canonical._smoke(args.daemons, args.workers, args.verbose)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,7 @@ mutable state is per-process by construction.
 from __future__ import annotations
 
 import os
+import threading
 from math import comb
 from typing import Dict, List, Optional, Tuple
 
@@ -69,6 +70,13 @@ __all__ = [
 #: count falls below this run serially (pool spawn / IPC overhead dominates
 #: there; see ``BENCH_engine.json``), larger ones are sharded.
 SERIAL_THRESHOLD = 10_000
+
+#: Serializes process-pool construction across threads so the
+#: failed-spawn cleanup in :meth:`ExplorationPool._ensure_pool` can
+#: attribute every newly appeared pool-worker child to *its* spawn —
+#: ``multiprocessing.active_children()`` is process-global and two pools
+#: spawning concurrently would otherwise reap each other's workers.
+_SPAWN_LOCK = threading.Lock()
 
 
 def default_workers() -> int:
@@ -271,18 +279,45 @@ class ExplorationPool:
             # everything shipped is picklable and workers re-import lazily,
             # and forcing fork on macOS can deadlock threaded parents.
             context = multiprocessing.get_context()
-            self._pool = context.Pool(processes=self.workers)
+            # A constructor that fails partway (say the (k+1)-th worker of
+            # k+n cannot spawn) raises without handing back the pool object,
+            # stranding the workers it did start.  Snapshot the live
+            # children first and reap any newcomers on failure, so a failed
+            # spawn leaks neither processes nor their pipes — and the pool
+            # object stays cleanly closeable/reusable.  Only processes with
+            # a pool-worker name are candidates: active_children() is
+            # process-global, and a thread concurrently starting unrelated
+            # workers (a WorkerDaemon, say) must not see them reaped.
+            with _SPAWN_LOCK:
+                before = set(multiprocessing.active_children())
+                try:
+                    self._pool = context.Pool(processes=self.workers)
+                except BaseException:
+                    self._pool = None
+                    for process in multiprocessing.active_children():
+                        if process not in before and "PoolWorker" in (process.name or ""):
+                            process.terminate()
+                            process.join(timeout=5.0)
+                    raise
         return self._pool
 
     def close(self) -> None:
-        """Shut the workers down; the pool cannot be used afterwards."""
+        """Shut the workers down; the pool cannot be used afterwards.
+
+        Idempotent, and safe whatever state spawning reached: a pool whose
+        worker spawn failed partway (see :meth:`_ensure_pool`) or that
+        never spawned closes without error, and ``__exit__`` never masks
+        an in-flight exception with a teardown failure.
+        """
         if self._closed:
             return
         self._closed = True
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.terminate()
+            finally:
+                pool.join()
 
     def __enter__(self) -> "ExplorationPool":
         if self._closed:

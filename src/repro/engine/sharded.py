@@ -55,7 +55,7 @@ fallback stays exactly as warm as the serial path would have been.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import StateSpaceLimitExceeded
 from ..core.grid import Grid
@@ -66,6 +66,9 @@ from .pool import ExploreKey, ExplorationPool, default_workers, expand_shard, re
 from .reduction import ReductionPipeline, ReductionSpec, normalize_reduction
 from .states import SchedulerState, initial_state
 from .transition import MODELS, AlgorithmTransitionSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a module cycle)
+    from .backend import ExecutionBackend
 
 __all__ = ["explore_sharded", "default_workers"]
 
@@ -86,6 +89,7 @@ def explore_sharded(
     start: Optional[SchedulerState] = None,
     cache: Optional[MatcherCache] = None,
     pool: Optional[ExplorationPool] = None,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> Exploration:
     """Build the reachable successor graph with a sharded process pool.
 
@@ -104,15 +108,36 @@ def explore_sharded(
 
     ``pool`` reuses a persistent :class:`~repro.engine.pool.ExplorationPool`
     instead of spawning an ephemeral one (``workers`` defaults to the
-    pool's worker count).  Falls back to the serial explorer when
-    ``workers <= 1`` or when the algorithm is not in the registry (its
-    rules cannot cross the process boundary); the fallback runs on
-    ``cache`` — or, absent that, the pool's coordinator cache — so a
-    caller-supplied cache is honoured on every route.
+    pool's worker count).  ``backend`` — any
+    :class:`~repro.engine.backend.ExecutionBackend`, including the TCP
+    :class:`~repro.engine.distributed.DistributedBackend` — supersedes
+    both: the wave loop fans its shards out through
+    ``backend.map_shards`` (sharded even at one worker: a remote backend's
+    single worker is still not this process), with the backend's
+    ``parallelism`` as the shard count.  Falls back to the serial explorer
+    when ``workers <= 1`` (and no backend is given) or when the algorithm
+    is not in the registry (its rules cannot cross the process boundary);
+    the fallback runs on ``cache`` — or, absent that, the pool's
+    coordinator cache — so a caller-supplied cache is honoured on every
+    route.
     """
     if model not in MODELS:
         raise ValueError(f"unknown model {model!r}")
     spec = normalize_reduction(reduction, symmetry_reduction)
+    key: ExploreKey = (algorithm.name, grid.m, grid.n, model, spec)
+    if backend is not None and registered(algorithm):
+        shards = max(1, int(getattr(backend, "parallelism", 1) or 1))
+        return _sharded_exploration(
+            algorithm,
+            grid,
+            model,
+            key,
+            backend.map_shards,
+            workers=shards,
+            spec=spec,
+            max_states=max_states,
+            start=start,
+        )
     if pool is not None:
         # Never ask a pool for more parallelism than it has: a one-worker
         # pool routes serially (onto its coordinator cache) rather than
@@ -121,13 +146,19 @@ def explore_sharded(
     elif workers is None:
         workers = default_workers()
     if workers <= 1 or not registered(algorithm):
-        if cache is None and pool is not None:
-            cache = pool.cache
+        if cache is None:
+            if pool is not None:
+                cache = pool.cache
+            elif backend is not None:
+                # The backend's coordinator cache (when it has one) keeps
+                # the unregistered-algorithm fallback as warm as the
+                # backend's workers would have been.
+                from .backend import backend_cache  # local import: module cycle
+
+                cache = backend_cache(backend)
         matcher = cache.matcher_for(algorithm, grid) if cache is not None else None
         ts = AlgorithmTransitionSystem(algorithm, grid, model, matcher=matcher)
         return explore(ts, reduction=spec, max_states=max_states, start=start)
-
-    key: ExploreKey = (algorithm.name, grid.m, grid.n, model, spec)
 
     if pool is not None:
         return _sharded_exploration(

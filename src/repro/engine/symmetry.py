@@ -33,7 +33,7 @@ from functools import lru_cache
 from typing import Iterable, Optional, Tuple
 
 from ..core.grid import Grid, Node
-from ..core.views import ALL_SYMMETRIES, IDENTITY, Symmetry, symmetries_for
+from ..core.views import ALL_SYMMETRIES, Symmetry, symmetries_for
 from .states import AsyncRobotState, SchedulerState
 
 __all__ = ["GridSymmetry", "grid_symmetries", "transform_state", "canonicalize"]

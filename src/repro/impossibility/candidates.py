@@ -24,7 +24,7 @@ from typing import Dict, List
 
 from ..algorithms import get
 from ..core.algorithm import Algorithm, Synchrony
-from ..core.colors import B, G, W
+from ..core.colors import G, W
 from ..core.rules import EMPTY, Guard, Rule, WALL, occ
 
 __all__ = ["candidate_two_robot_algorithms"]

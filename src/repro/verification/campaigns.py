@@ -26,7 +26,7 @@ its tasks on those long-lived, cache-warm workers instead.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.algorithm import Algorithm
 from ..core.simulator import TieBreak
@@ -43,6 +43,9 @@ from ..engine.campaign import (
 )
 from ..engine.pool import ExplorationPool
 from ..engine.suites import default_grid_suite
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.backend import ExecutionBackend
 
 __all__ = [
     "VerificationReport",
@@ -74,16 +77,21 @@ def _run_campaign(
     algorithm: Algorithm,
     tasks: List[CampaignTask],
     pool: Optional[ExplorationPool],
+    backend: Optional["ExecutionBackend"] = None,
 ) -> GridSweepReport:
-    """Run a task list serially, or on a persistent pool when one is given.
+    """Run a task list serially, on a persistent pool, or on a backend.
 
-    The two paths produce byte-identical reports (every run is a pure
-    function of its task), so ``pool=`` is purely a throughput/cache-reuse
-    decision: pooled campaigns share the pool's long-lived workers — and
-    their warm matcher caches — with every other workload on the pool.
+    All paths produce byte-identical reports (every run is a pure function
+    of its task), so ``pool=`` / ``backend=`` are purely throughput and
+    cache-reuse decisions: pooled campaigns share the pool's long-lived
+    workers — and their warm matcher caches — with every other workload on
+    the pool, and a ``backend`` (``SerialBackend`` / ``PoolBackend`` /
+    the TCP :class:`~repro.engine.distributed.DistributedBackend`) routes
+    the same task list wherever its workers live.  ``backend`` supersedes
+    ``pool``.
     """
-    if pool is not None:
-        engine = ParallelCampaignEngine(pool=pool)
+    if backend is not None or pool is not None:
+        engine = ParallelCampaignEngine(pool=pool, backend=backend)
         return GridSweepReport(algorithm=algorithm.name, reports=engine.run_tasks(algorithm, tasks))
     return GridSweepReport(algorithm=algorithm.name, reports=execute_tasks(algorithm, tasks))
 
@@ -95,10 +103,11 @@ def grid_sweep(
     seed: Optional[int] = None,
     tie_break: str = TieBreak.ERROR,
     pool: Optional[ExplorationPool] = None,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> GridSweepReport:
     """Verify terminating exploration over a family of grid sizes."""
     tasks = grid_sweep_tasks(algorithm, sizes=sizes, model=model, seed=seed, tie_break=tie_break)
-    return _run_campaign(algorithm, tasks, pool)
+    return _run_campaign(algorithm, tasks, pool, backend)
 
 
 def stress_test(
@@ -108,10 +117,11 @@ def stress_test(
     seeds: Sequence[int] = tuple(range(10)),
     tie_break: str = TieBreak.FIRST,
     pool: Optional[ExplorationPool] = None,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> GridSweepReport:
     """Randomized-scheduler campaign for the SSYNC/ASYNC algorithms."""
     tasks = stress_test_tasks(algorithm, sizes=sizes, models=models, seeds=seeds, tie_break=tie_break)
-    return _run_campaign(algorithm, tasks, pool)
+    return _run_campaign(algorithm, tasks, pool, backend)
 
 
 def exhaustive_sweep(
@@ -121,6 +131,7 @@ def exhaustive_sweep(
     reduction: Optional[str] = "grid",
     max_states: int = 200_000,
     pool: Optional[ExplorationPool] = None,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> GridSweepReport:
     """Exhaustive model checks over a family of (small) grid sizes.
 
@@ -134,7 +145,7 @@ def exhaustive_sweep(
     tasks = exhaustive_check_tasks(
         algorithm, sizes=sizes, model=model, reduction=reduction, max_states=max_states
     )
-    return _run_campaign(algorithm, tasks, pool)
+    return _run_campaign(algorithm, tasks, pool, backend)
 
 
 def verify_algorithm(
@@ -142,14 +153,15 @@ def verify_algorithm(
     sizes: Optional[Iterable[Tuple[int, int]]] = None,
     seeds: Sequence[int] = tuple(range(5)),
     pool: Optional[ExplorationPool] = None,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> GridSweepReport:
     """The full campaign appropriate for an algorithm's claimed model.
 
     FSYNC algorithms get a deterministic FSYNC sweep; ASYNC algorithms
     additionally get randomized SSYNC and ASYNC stress runs.
     """
-    report = grid_sweep(algorithm, sizes=sizes, model="FSYNC", pool=pool)
+    report = grid_sweep(algorithm, sizes=sizes, model="FSYNC", pool=pool, backend=backend)
     if algorithm.synchrony == "ASYNC":
-        stress = stress_test(algorithm, sizes=sizes, seeds=seeds, pool=pool)
+        stress = stress_test(algorithm, sizes=sizes, seeds=seeds, pool=pool, backend=backend)
         report.reports.extend(stress.reports)
     return report

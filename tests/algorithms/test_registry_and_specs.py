@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.algorithms import all_algorithms, find, get, names, table1_rows
+from repro.algorithms import find, get, names, table1_rows
 from repro.algorithms.derive import replace_color_with_pair
 from repro.core import B, G, W
 from repro.core.errors import AlgorithmError

@@ -8,7 +8,7 @@ from repro.algorithms import get
 from repro.checking import check_terminating_exploration, enumerate_reachable, initial_state
 from repro.checking.model_checker import successors
 from repro.checking.states import SchedulerState, world_from_state
-from repro.core import Algorithm, EMPTY, G, Grid, Synchrony, W, occ
+from repro.core import Algorithm, G, Grid, Synchrony, W, occ
 from repro.core.errors import StateSpaceLimitExceeded
 from repro.core.rules import Guard, Rule
 

@@ -18,7 +18,6 @@ from repro.core import (
     snapshot_contents,
 )
 from repro.core.scheduler import RandomSubset
-from repro.core.views import IDENTITY
 
 # ---------------------------------------------------------------------------
 # Strategies

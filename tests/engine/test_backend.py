@@ -1,0 +1,243 @@
+"""Tests for the pluggable execution backends and their lifecycles."""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.algorithms import get
+from repro.checking import check_terminating_exploration, enumerate_reachable, explore_state_space
+from repro.analysis.scaling import round_complexity_sweep, state_space_sweep
+from repro.engine import (
+    AlgorithmTransitionSystem,
+    ExecutionBackend,
+    ExplorationPool,
+    ParallelCampaignEngine,
+    PoolBackend,
+    SerialBackend,
+    backend_cache,
+    exhaustive_check_tasks,
+    explore,
+    explore_sharded,
+    grid_sweep_tasks,
+    run_task,
+)
+from repro.core import Grid
+from repro.verification import exhaustive_sweep, grid_sweep, verify_algorithm
+
+
+def _serial_exploration(algorithm, grid, model, **kwargs):
+    return explore(AlgorithmTransitionSystem(algorithm, grid, model), **kwargs)
+
+
+def _assert_same_exploration(actual, expected):
+    assert actual.num_states == expected.num_states
+    assert actual.states == expected.states
+    assert actual.succ == expected.succ
+    assert actual.index == expected.index
+    assert actual.reduced == expected.reduced
+    assert actual.edge_syms == expected.edge_syms
+
+
+@pytest.fixture(params=["serial", "pool"])
+def backend(request):
+    """Each in-process backend implementation, freshly constructed."""
+    if request.param == "serial":
+        with SerialBackend() as made:
+            yield made
+    else:
+        with PoolBackend(workers=2) as made:
+            yield made
+
+
+# ---------------------------------------------------------------------------
+# The backend contract
+# ---------------------------------------------------------------------------
+class TestBackendContract:
+    def test_implementations_satisfy_the_protocol(self, backend):
+        assert isinstance(backend, ExecutionBackend)
+        assert backend.parallelism >= 1
+
+    def test_run_tasks_returns_reports_in_task_order(self, backend, algorithm1):
+        tasks = grid_sweep_tasks(algorithm1, sizes=[(3, 3), (3, 4), (4, 3)])
+        reports = backend.run_tasks(tasks)
+        assert [(r.m, r.n) for r in reports] == [(t.m, t.n) for t in tasks]
+        assert reports == [run_task(task) for task in tasks]
+
+    def test_empty_task_list(self, backend):
+        assert backend.run_tasks([]) == []
+        assert backend.map_shards([]) == []
+
+    def test_check_tasks_match_serial_engine(self, backend, algorithm1):
+        tasks = exhaustive_check_tasks(algorithm1, sizes=[(2, 3), (3, 3)], reduction="grid")
+        serial = ParallelCampaignEngine(workers=1).run_tasks(algorithm1, tasks)
+        assert backend.run_tasks(tasks) == serial
+
+    def test_closed_backend_refuses_work(self, algorithm1):
+        backend = SerialBackend()
+        backend.close()
+        backend.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.run_tasks(grid_sweep_tasks(algorithm1, sizes=[(3, 3)]))
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.map_shards([])
+        with pytest.raises(RuntimeError, match="closed"):
+            with backend:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Exploration through map_shards
+# ---------------------------------------------------------------------------
+class TestBackendExploration:
+    @pytest.mark.parametrize("reduction", [None, "grid", "grid+color+por"])
+    def test_explore_sharded_backend_matches_serial(self, backend, algorithm1, reduction):
+        grid = Grid(4, 4)
+        expected = _serial_exploration(algorithm1, grid, "FSYNC", reduction=reduction)
+        actual = explore_sharded(algorithm1, grid, "FSYNC", reduction=reduction, backend=backend)
+        _assert_same_exploration(actual, expected)
+
+    def test_checking_entry_points_accept_backend(self, backend, algorithm1):
+        grid = Grid(3, 3)
+        check = check_terminating_exploration(algorithm1, grid, model="FSYNC", backend=backend)
+        assert check == check_terminating_exploration(algorithm1, grid, model="FSYNC")
+        assert enumerate_reachable(algorithm1, grid, model="FSYNC", backend=backend) == (
+            enumerate_reachable(algorithm1, grid, model="FSYNC")
+        )
+        graph = explore_state_space(algorithm1, grid, model="FSYNC", backend=backend)
+        assert graph == explore_state_space(algorithm1, grid, model="FSYNC")
+
+
+# ---------------------------------------------------------------------------
+# Campaign / verification / analysis layers
+# ---------------------------------------------------------------------------
+class TestBackendCampaigns:
+    def test_engine_backend_supersedes_pool(self, backend, algorithm1):
+        engine = ParallelCampaignEngine(backend=backend)
+        tasks = grid_sweep_tasks(algorithm1, sizes=[(3, 3), (4, 4)])
+        assert engine.run_tasks(algorithm1, tasks) == [run_task(task) for task in tasks]
+        assert engine.workers == backend.parallelism
+
+    def test_verification_campaigns_parity(self, backend, algorithm1):
+        sizes = [(3, 3), (3, 4)]
+        assert grid_sweep(algorithm1, sizes=sizes, backend=backend).reports == (
+            grid_sweep(algorithm1, sizes=sizes).reports
+        )
+        assert exhaustive_sweep(algorithm1, sizes=sizes, backend=backend).reports == (
+            exhaustive_sweep(algorithm1, sizes=sizes).reports
+        )
+        assert verify_algorithm(algorithm1, sizes=sizes, backend=backend).reports == (
+            verify_algorithm(algorithm1, sizes=sizes).reports
+        )
+
+    def test_scaling_sweeps_parity(self, backend, algorithm1):
+        sizes = [(3, 3), (3, 4), (4, 4)]
+        assert round_complexity_sweep(algorithm1, sizes=sizes, backend=backend) == (
+            round_complexity_sweep(algorithm1, sizes=sizes)
+        )
+        baseline = state_space_sweep(algorithm1, sizes=sizes, reduction="grid")
+        routed = state_space_sweep(algorithm1, sizes=sizes, reduction="grid", backend=backend)
+        assert [(p.m, p.n, p.states, p.reduction) for p in routed] == (
+            [(p.m, p.n, p.states, p.reduction) for p in baseline]
+        )
+
+    def test_unregistered_algorithm_falls_back_in_process(self, backend):
+        from tests.engine.test_pool import _adhoc_algorithm
+
+        adhoc = _adhoc_algorithm("adhoc_backend_test")
+        engine = ParallelCampaignEngine(backend=backend)
+        tasks = grid_sweep_tasks(adhoc, sizes=[(1, 3)])
+        # An unregistered rule set cannot cross a process boundary; the
+        # engine must fall back to in-process execution with the same
+        # reports the serial path produces.
+        assert engine.run_tasks(adhoc, tasks) == ParallelCampaignEngine(workers=1).run_tasks(
+            adhoc, tasks
+        )
+
+
+# ---------------------------------------------------------------------------
+# PoolBackend specifics
+# ---------------------------------------------------------------------------
+class TestPoolBackend:
+    def test_shared_pool_is_not_closed_with_the_backend(self, algorithm1):
+        with ExplorationPool(workers=2) as pool:
+            with PoolBackend(pool) as backend:
+                assert backend.parallelism == 2
+                assert backend_cache(backend) is pool.cache
+            # The backend wrapped a shared pool: closing it must leave the
+            # pool usable for other consumers.
+            exploration = pool.explore(algorithm1, Grid(3, 3), "FSYNC")
+            assert exploration.num_states > 0
+
+    def test_owned_pool_is_closed_with_the_backend(self):
+        backend = PoolBackend(workers=2)
+        pool = backend.pool
+        backend.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.explore(get("fsync_phi2_l2_chir_k2"), Grid(3, 3), "FSYNC")
+
+    def test_pool_and_workers_are_mutually_exclusive(self):
+        with ExplorationPool(workers=2) as pool:
+            with pytest.raises(ValueError):
+                PoolBackend(pool, workers=4)
+
+    def test_serial_backend_cache_is_the_process_cache(self):
+        from repro.engine import process_cache
+
+        # The serial backend's "worker" is this process, so fallbacks
+        # share the same cache its registered workloads warm.
+        assert backend_cache(SerialBackend()) is process_cache()
+
+    def test_distributed_backend_has_no_in_process_cache(self):
+        class RemoteLike:  # duck-typed: no pool attribute, not serial
+            parallelism = 2
+
+        assert backend_cache(RemoteLike()) is None
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle hardening: partial spawn failure must not leak workers
+# ---------------------------------------------------------------------------
+class _FailingPoolContext:
+    """A multiprocessing context whose Pool strands a child then fails."""
+
+    def __init__(self, real_context):
+        self._real = real_context
+        self.stranded = []
+
+    def Pool(self, processes=None):
+        # Simulate the constructor getting partway: one worker process is
+        # alive when the spawn of the next one blows up.  Real stranded
+        # workers carry multiprocessing's pool-worker naming, which the
+        # cleanup keys on to avoid reaping unrelated processes.
+        process = self._real.Process(
+            target=time.sleep, args=(60,), daemon=True, name="ForkPoolWorker-simulated"
+        )
+        process.start()
+        self.stranded.append(process)
+        raise RuntimeError("simulated worker spawn failure")
+
+
+class TestSpawnFailureSafety:
+    def test_pool_spawn_failure_leaks_nothing(self, monkeypatch, algorithm1):
+        failing = _FailingPoolContext(multiprocessing.get_context())
+        monkeypatch.setattr(multiprocessing, "get_context", lambda *a, **k: failing)
+        pool = ExplorationPool(workers=2, serial_threshold=0)
+        with pytest.raises(RuntimeError, match="simulated worker spawn failure"):
+            pool.explore(algorithm1, Grid(3, 3), "FSYNC")
+        # The stranded child was reaped before the error propagated ...
+        assert [p for p in failing.stranded if p.is_alive()] == []
+        assert not pool.started
+        # ... and the pool closes cleanly (idempotently) afterwards.
+        pool.close()
+        pool.close()
+
+    def test_pool_exit_does_not_mask_spawn_failure(self, monkeypatch, algorithm1):
+        failing = _FailingPoolContext(multiprocessing.get_context())
+        monkeypatch.setattr(multiprocessing, "get_context", lambda *a, **k: failing)
+        with pytest.raises(RuntimeError, match="simulated worker spawn failure"):
+            with ExplorationPool(workers=2, serial_threshold=0) as pool:
+                pool.explore(algorithm1, Grid(3, 3), "FSYNC")
+        assert [p for p in failing.stranded if p.is_alive()] == []

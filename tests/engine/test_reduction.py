@@ -6,7 +6,7 @@ import multiprocessing
 
 import pytest
 
-from repro.algorithms import all_algorithms, get
+from repro.algorithms import get
 from repro.algorithms import registry as algorithm_registry
 from repro.checking import check_terminating_exploration, enumerate_reachable
 from repro.core import Algorithm, B, G, Grid, Synchrony, W, occ
@@ -25,7 +25,6 @@ from repro.engine import (
     execute_tasks,
     explore,
     explore_sharded,
-    initial_state,
     normalize_reduction,
     reduction_parity_suite,
     transform_state_colors,
