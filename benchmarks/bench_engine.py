@@ -28,7 +28,13 @@ machine-readable ledger, ``BENCH_engine.json`` at the repo root:
   through a persistent pool and through two local TCP worker daemons
   (:class:`~repro.engine.distributed.DistributedBackend`); reports must be
   identical to the serial engine's both ways, and the pooled-vs-distributed
-  ratio is recorded honestly (on one core the TCP hop is pure overhead).
+  ratio is recorded honestly (on one core the TCP hop is pure overhead);
+* **packed kernel** (PR 6 trajectory) — the packed successor kernel
+  (:mod:`repro.engine.packed`) against the object kernel on warm
+  FSYNC/SSYNC/ASYNC cases, parity-enforced field by field before any
+  number is recorded; plus the ``SchedulerState.from_records`` sort-key
+  cache micro-benchmark (re-sorting already-seen records, the kernel's
+  hottest object-path operation).
 
 Run directly:
 
@@ -72,6 +78,7 @@ from repro.engine import (
     explore_sharded,
     initial_state,
 )
+from repro.engine.packed import PackedTransitionSystem
 from repro.engine.states import AsyncRobotState, world_from_state
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -85,6 +92,17 @@ SMOKE_REGRESSION_FACTOR = 3.0
 #: checker runs the identical workload, so the *ratio* kernel/seed is
 #: comparable across machines while absolute states/s are not.
 SMOKE_REFERENCE_CASE = "fsync_phi2_l2_chir_k2 3x3 [FSYNC] seed"
+
+#: Packed-vs-object kernel cases (warm-repetition protocol, one per model).
+PACKED_BENCH_CASES = (
+    ("fsync_phi1_l2_nochir_k5", 4, 4, "FSYNC"),
+    ("fsync_phi2_l1_nochir_k4", 5, 5, "SSYNC"),
+    ("async_phi2_l2_nochir_k4", 4, 4, "ASYNC"),
+)
+
+#: The packed-vs-object case the smoke guard re-measures (the FSYNC one —
+#: smallest, so the guard stays cheap).
+PACKED_SMOKE_CASE = PACKED_BENCH_CASES[0]
 
 
 # ---------------------------------------------------------------------------
@@ -436,6 +454,83 @@ def bench_distributed(daemon_workers: int = 2) -> Tuple[List[dict], float]:
     )
 
 
+def _require_kernel_parity(reference, candidate, label: str) -> None:
+    """RuntimeError (survives ``python -O``) unless the explorations match."""
+    for field in ("model", "reduced", "states", "index", "succ", "edge_syms",
+                  "root", "root_sym", "reduction", "reduction_stats"):
+        if getattr(candidate, field) != getattr(reference, field):
+            raise RuntimeError(f"packed kernel diverged from the object kernel on {label} ({field})")
+
+
+def bench_packed(repetitions: int) -> Tuple[List[dict], Dict[str, float]]:
+    """The PR-6 trajectory: packed vs object successor kernel, warm.
+
+    Both kernels are measured under the same warm-repetition protocol the
+    other "kernel" rows use (one warm-up run on a persistent transition
+    system, then timed repetitions — the pool/daemon/sweep regime both
+    kernels actually serve), and the packed exploration is parity-checked
+    field by field against the object one before any number is recorded.
+    Returns the rows plus the per-model speedup factors.
+    """
+    rows: List[dict] = []
+    speedups: Dict[str, float] = {}
+    for name, m, n, model in PACKED_BENCH_CASES:
+        algorithm = get(name)
+        grid = Grid(m, n)
+        label = f"{name} {m}x{n} [{model}]"
+        object_ts = AlgorithmTransitionSystem(algorithm, grid, model)
+        packed_ts = PackedTransitionSystem(algorithm, grid, model)
+        _require_kernel_parity(explore(object_ts), explore(packed_ts), label)
+        # The larger state spaces need fewer repetitions to amortize noise.
+        reps = repetitions if model == "FSYNC" else max(1, repetitions // 10)
+        object_s, states = _measure(lambda: explore(object_ts).num_states, reps)
+        packed_s, _ = _measure(lambda: explore(packed_ts).num_states, reps)
+        speedups[model] = object_s / packed_s if packed_s else float("inf")
+        rows.append(_case(f"{label} object kernel", object_s, states))
+        rows.append(_case(f"{label} packed kernel", packed_s, states))
+    return rows, speedups
+
+
+def bench_from_records(repetitions: int) -> Tuple[List[dict], float]:
+    """The ``SchedulerState.from_records`` sort-key cache micro-benchmark.
+
+    Re-sorts the record tuples of a real ASYNC exploration two ways: with
+    the records it already holds (whose :meth:`AsyncRobotState.key` caches
+    are warm — the explorer's steady state, where successor construction
+    reuses parent records) and with freshly constructed copies (cold
+    caches, the pre-PR-6 cost).  Returns the rows plus warm-vs-cold
+    speedup; "states" counts the states rebuilt per run.
+    """
+    name, m, n, model = PACKED_BENCH_CASES[2]
+    algorithm = get(name)
+    exploration = explore(AlgorithmTransitionSystem(algorithm, Grid(m, n), model))
+    record_sets = [state.robots for state in exploration.states]
+
+    def warm() -> int:
+        for robots in record_sets:
+            SchedulerState.from_records(robots)
+        return len(record_sets)
+
+    def cold() -> int:
+        for robots in record_sets:
+            SchedulerState.from_records(
+                AsyncRobotState(r.pos, r.color, r.phase, r.snapshot, r.pending_color, r.pending_move)
+                for r in robots
+            )
+        return len(record_sets)
+
+    warm_s, states = _measure(warm, repetitions)
+    cold_s, _ = _measure(cold, repetitions)
+    label = f"from_records x{states} [{model} records]"
+    return (
+        [
+            _case(f"{label} cached keys", warm_s, states),
+            _case(f"{label} fresh records", cold_s, states),
+        ],
+        cold_s / warm_s if warm_s else float("inf"),
+    )
+
+
 def bench_sharded_wide(workers: int) -> List[dict]:
     """Serial vs sharded on the widest shared workload (8x8 SSYNC, k=3)."""
     algorithm = get("fsync_phi2_l2_nochir_k3")
@@ -492,6 +587,10 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
     rows += reduction_rows
     distributed_rows, distributed_x = bench_distributed()
     rows += distributed_rows
+    packed_rows, packed_x = bench_packed(repetitions)
+    rows += packed_rows
+    records_rows, records_x = bench_from_records(max(1, repetitions // 10))
+    rows += records_rows
 
     by_case = _by_case(rows)
     engine_x = (
@@ -528,6 +627,11 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
         f"exhaustive sweep over 2 TCP worker daemons: {distributed_x:.2f}x the pooled"
         " engine (identical reports; <1 means the TCP hop cost more than it bought)"
     )
+    print(
+        "packed kernel vs object kernel (warm): "
+        + ", ".join(f"{model} {factor:.1f}x" for model, factor in packed_x.items())
+    )
+    print(f"from_records with cached sort keys: {records_x:.2f}x fresh records")
 
     ok = True
     if engine_x < 2.0:
@@ -561,6 +665,20 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
             file=sys.stderr,
         )
         ok = False
+    for model in ("FSYNC", "SSYNC"):
+        if packed_x[model] < 10.0:
+            print(
+                f"FAIL: expected the packed kernel to beat the object kernel by >= 10x"
+                f" on the warm {model} bench case (measured {packed_x[model]:.1f}x)",
+                file=sys.stderr,
+            )
+            ok = False
+    if records_x <= 1.0:
+        print(
+            "FAIL: expected cached sort keys to beat fresh records in from_records",
+            file=sys.stderr,
+        )
+        ok = False
     if not ok:
         # Leave the previously recorded baseline in place: a failing run
         # must never become the yardstick future smoke passes are held to.
@@ -586,6 +704,11 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
             "reduction_grid_quotient_vs_unreduced": grid_quotient_x,
             "reduction_grid_color_por_vs_grid": por_quotient_x,
             "distributed_2daemons_vs_pooled_sweep": distributed_x,
+            "packed_vs_object": {
+                "{} {}x{} [{}]".format(name, m, n, model): packed_x[model]
+                for name, m, n, model in PACKED_BENCH_CASES
+            },
+            "from_records_cached_keys_vs_fresh": records_x,
         },
         # The guard compares the machine-independent *ratio* of the kernel
         # to the same-machine seed reference, not absolute states/s.
@@ -595,6 +718,11 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
             "kernel_vs_seed": engine_x,
             "states_per_s": by_case[SMOKE_CASE]["states_per_s"],
             "max_regression_factor": SMOKE_REGRESSION_FACTOR,
+            # The packed-kernel floor the smoke guard re-measures: the
+            # packed/object ratio on the FSYNC bench case, same-machine
+            # normalized like kernel_vs_seed.
+            "packed_case": "{} {}x{} [{}]".format(*PACKED_SMOKE_CASE),
+            "packed_vs_object": packed_x["FSYNC"],
         },
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")
@@ -612,7 +740,11 @@ def run_smoke(repetitions: int, baseline_path: Path) -> int:
     The reduction guard then re-checks the suite ASYNC bench case: the
     ``grid+color+por`` pipeline must still explore strictly fewer states
     than the ``grid`` quotient with an unchanged verdict (the verdict
-    parity is enforced inside :func:`_reduction_case`).
+    parity is enforced inside :func:`_reduction_case`).  Finally the
+    packed-kernel guard re-measures :data:`PACKED_SMOKE_CASE`: the packed
+    exploration must stay field-identical to the object one (hard failure)
+    and its warm speedup must stay within ``max_regression_factor`` of the
+    recorded ``packed_vs_object`` baseline.
     """
     algorithm = get("fsync_phi2_l2_chir_k2")
     grid = Grid(3, 3)
@@ -640,6 +772,23 @@ def run_smoke(repetitions: int, baseline_path: Path) -> int:
         )
         return 1
 
+    # Packed-kernel guard: parity is enforced unconditionally; the speed
+    # floor (below) additionally needs a recorded baseline.
+    packed_name, packed_m, packed_n, packed_model = PACKED_SMOKE_CASE
+    packed_algorithm = get(packed_name)
+    packed_grid = Grid(packed_m, packed_n)
+    packed_label = f"{packed_name} {packed_m}x{packed_n} [{packed_model}]"
+    object_ts = AlgorithmTransitionSystem(packed_algorithm, packed_grid, packed_model)
+    packed_ts = PackedTransitionSystem(packed_algorithm, packed_grid, packed_model)
+    _require_kernel_parity(explore(object_ts), explore(packed_ts), packed_label)
+    object_s, packed_states = _measure(lambda: explore(object_ts).num_states, repetitions)
+    packed_s, _ = _measure(lambda: explore(packed_ts).num_states, repetitions)
+    packed_ratio = object_s / packed_s if packed_s else float("inf")
+    print(
+        f"smoke: {packed_label} packed kernel: {packed_states / packed_s:.0f} states/s,"
+        f" {packed_ratio:.1f}x the object kernel (parity verified)"
+    )
+
     if not baseline_path.exists():
         print(f"smoke: no baseline at {baseline_path}; run `make bench` to record one")
         return 0
@@ -659,6 +808,22 @@ def run_smoke(repetitions: int, baseline_path: Path) -> int:
             file=sys.stderr,
         )
         return 1
+    recorded_packed = guard.get("packed_vs_object")
+    if recorded_packed:
+        packed_floor = recorded_packed / factor
+        print(
+            f"smoke: packed baseline {recorded_packed:.1f}x,"
+            f" regression floor {packed_floor:.1f}x"
+        )
+        if packed_ratio < packed_floor:
+            print(
+                f"FAIL: packed kernel regressed more than {factor:.0f}x against the"
+                f" recorded baseline ({packed_ratio:.1f}x < {packed_floor:.1f}x vs object)",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        print("smoke: baseline has no packed_vs_object entry; run `make bench` to refresh it")
     print("OK: within the regression budget")
     return 0
 

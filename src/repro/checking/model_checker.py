@@ -137,6 +137,7 @@ def _explore(
     cache: Optional[MatcherCache],
     pool: Optional[ExplorationPool],
     backend: Optional["ExecutionBackend"] = None,
+    kernel: Optional[str] = None,
 ) -> Exploration:
     """Route one exploration through the pool, the sharded or the serial explorer.
 
@@ -150,6 +151,11 @@ def _explore(
     matcher backed by a shared :class:`MatcherCache` so repeated checks of
     the same algorithm — at any grid size — start warm.  Every route
     produces the identical ``Exploration``.
+
+    ``kernel`` selects the successor kernel (``"object"`` / ``"packed"`` /
+    ``"auto"``; see :mod:`repro.engine.packed`) on every route — it rides
+    in the ``ExploreKey``, so sharded and backend workers rebuild the
+    matching transition system.  Verdicts are kernel-independent.
     """
     if model not in ("FSYNC", "SSYNC", "ASYNC"):
         raise ValueError(f"unknown model {model!r}")
@@ -167,6 +173,7 @@ def _explore(
             start=start,
             cache=cache,
             backend=backend,
+            kernel=kernel,
         )
     if pool is not None:
         return pool.explore(
@@ -176,6 +183,7 @@ def _explore(
             reduction=spec,
             max_states=max_states,
             start=start,
+            kernel=kernel,
         )
     # explore_sharded owns both remaining routes: workers > 1 shards over an
     # ephemeral pool, workers <= 1 is the serial explorer on ``cache``.
@@ -188,6 +196,7 @@ def _explore(
         max_states=max_states,
         start=start,
         cache=cache,
+        kernel=kernel,
     )
 
 
@@ -203,6 +212,7 @@ def explore_state_space(
     pool: Optional[ExplorationPool] = None,
     reduction: ReductionSpec = None,
     backend: Optional["ExecutionBackend"] = None,
+    kernel: Optional[str] = None,
 ) -> Dict[SchedulerState, List[SchedulerState]]:
     """Build the successor graph of all reachable scheduler states.
 
@@ -232,6 +242,7 @@ def explore_state_space(
         cache=cache,
         pool=pool,
         backend=backend,
+        kernel=kernel,
     )
     return exploration.graph()
 
@@ -247,6 +258,7 @@ def enumerate_reachable(
     pool: Optional[ExplorationPool] = None,
     reduction: ReductionSpec = None,
     backend: Optional["ExecutionBackend"] = None,
+    kernel: Optional[str] = None,
 ) -> int:
     """Number of reachable canonical states (convenience wrapper)."""
     return _explore(
@@ -260,6 +272,7 @@ def enumerate_reachable(
         cache=cache,
         pool=pool,
         backend=backend,
+        kernel=kernel,
     ).num_states
 
 
@@ -274,6 +287,7 @@ def check_terminating_exploration(
     pool: Optional[ExplorationPool] = None,
     reduction: ReductionSpec = None,
     backend: Optional["ExecutionBackend"] = None,
+    kernel: Optional[str] = None,
 ) -> CheckResult:
     """Exhaustively decide Definition 1 over all scheduler behaviours.
 
@@ -290,7 +304,10 @@ def check_terminating_exploration(
     exactly), with and without ``cache`` (memoization only skips
     recomputation), and with and without ``pool`` (a persistent
     :class:`~repro.engine.pool.ExplorationPool`, which routes adaptively
-    between those two mechanisms and supersedes both arguments).
+    between those two mechanisms and supersedes both arguments).  It is
+    also identical under every ``kernel`` (``"object"`` / ``"packed"`` /
+    ``"auto"``): the packed successor kernel only changes how fast states
+    are expanded, never which states exist.
     """
     exploration = _explore(
         algorithm,
@@ -303,6 +320,7 @@ def check_terminating_exploration(
         cache=cache,
         pool=pool,
         backend=backend,
+        kernel=kernel,
     )
     terminal_states = len(exploration.terminal_indices())
 

@@ -7,6 +7,12 @@ paper are implemented; every other layer consumes it:
 * :mod:`repro.engine.matcher` — memoized snapshot/rule-match computation;
 * :mod:`repro.engine.transition` — the :class:`TransitionSystem` protocol
   and the authoritative FSYNC/SSYNC/ASYNC successor generator;
+* :mod:`repro.engine.packed` — the packed successor kernel: states as
+  flat integer tuples, table-driven expansion, an order of magnitude more
+  serial states/s, parity-gated against the object kernel (selected by a
+  ``kernel=`` spec on the exploration entry points);
+* :mod:`repro.engine.profile` — opt-in (``REPRO_PROFILE=1``) per-phase
+  wall-clock split attached to ``Exploration.profile``;
 * :mod:`repro.engine.symmetry` — the grid-automorphism group (rotations
   and, for chirality-free algorithms, reflections);
 * :mod:`repro.engine.reduction` — the composable reduction subsystem:
@@ -49,7 +55,23 @@ from .campaign import (
 from .backend import ExecutionBackend, PoolBackend, SerialBackend, backend_cache
 from .explorer import Exploration, explore, guaranteed_nodes, has_cycle, topological_order
 from .matcher import LocalMatcher, MatcherCache, MatcherStats
-from .pool import ExplorationPool, default_workers, estimate_states, process_cache
+from .packed import (
+    HAS_NUMPY,
+    KERNELS,
+    PackedSpace,
+    PackedTransitionSystem,
+    build_transition_system,
+    normalize_kernel,
+)
+from .pool import (
+    PACKED_SERIAL_FACTOR,
+    SERIAL_THRESHOLD,
+    ExplorationPool,
+    default_workers,
+    estimate_states,
+    process_cache,
+)
+from .profile import PROFILE_ENV, KernelProfile, profiling_enabled
 from .reduction import (
     ColorPermutation,
     ProductWitness,
@@ -127,12 +149,25 @@ __all__ = [
     "normalize_reduction",
     "resolve_reduction",
     "apriori_reduction_factor",
+    # packed kernel
+    "KERNELS",
+    "HAS_NUMPY",
+    "PackedSpace",
+    "PackedTransitionSystem",
+    "build_transition_system",
+    "normalize_kernel",
+    # profiling
+    "PROFILE_ENV",
+    "KernelProfile",
+    "profiling_enabled",
     # explorer
     "Exploration",
     "explore",
     "explore_sharded",
     # pool
     "ExplorationPool",
+    "SERIAL_THRESHOLD",
+    "PACKED_SERIAL_FACTOR",
     "default_workers",
     "estimate_states",
     "process_cache",

@@ -9,7 +9,10 @@ primitive shapes, both picklable by construction since PR 3/4:
   driven by explicit seeds);
 * **shard payloads** — ``(ExploreKey, [states])`` slices of one BFS wave
   expanded by :func:`~repro.engine.pool.expand_shard`, which rebuilds the
-  transition system and reduction pipeline from the spec in the key.
+  transition system and reduction pipeline from the specs in the key —
+  including the successor-kernel slot added in PR 6 (``"object"`` /
+  ``"packed"``; legacy five-slot keys still work and mean the object
+  kernel, so a new coordinator can talk to old daemons and vice versa).
 
 An :class:`ExecutionBackend` is anything that can evaluate those two
 shapes and hand the results back *in submission order*:

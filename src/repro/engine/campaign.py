@@ -255,6 +255,7 @@ def check_one(
     reduction: Optional[str] = "grid",
     max_states: int = 200_000,
     cache: Optional[MatcherCache] = None,
+    kernel: Optional[str] = None,
 ) -> VerificationReport:
     """Exhaustively model-check one ``(algorithm, grid, model)`` triple.
 
@@ -279,6 +280,7 @@ def check_one(
             max_states=max_states,
             reduction=reduction,
             cache=cache,
+            kernel=kernel,
         )
     except Exception as exc:  # noqa: BLE001 - reported, not swallowed
         return VerificationReport(
@@ -342,6 +344,11 @@ class CampaignTask:
     reduction: Optional[str] = "grid"
     #: ``kind="check"`` only: the exploration state budget.
     max_states: int = 200_000
+    #: ``kind="check"`` only: the successor kernel for the exploration
+    #: (``"object"`` / ``"packed"`` / ``"auto"``; see
+    #: :mod:`repro.engine.packed`).  Appended last so task tuples pickled
+    #: by pre-kernel coordinators keep unpickling.
+    kernel: str = "object"
 
 
 def run_task(task: CampaignTask) -> VerificationReport:
@@ -367,6 +374,7 @@ def run_task(task: CampaignTask) -> VerificationReport:
             reduction=task.reduction,
             max_states=task.max_states,
             cache=process_cache(),
+            kernel=task.kernel,
         )
     return verify_one(
         algorithm,
@@ -408,6 +416,7 @@ def execute_tasks(
                     reduction=task.reduction,
                     max_states=task.max_states,
                     cache=cache,
+                    kernel=task.kernel,
                 )
             )
         else:
@@ -466,6 +475,7 @@ def exhaustive_check_tasks(
     model: str = "FSYNC",
     reduction: Optional[str] = "grid",
     max_states: int = 200_000,
+    kernel: str = "object",
 ) -> List[CampaignTask]:
     """The task list of an exhaustive model-checking sweep.
 
@@ -485,6 +495,7 @@ def exhaustive_check_tasks(
             kind="check",
             reduction=reduction,
             max_states=max_states,
+            kernel=kernel,
         )
         for m, n in sizes
         if algorithm.supports_grid(m, n)
@@ -612,14 +623,18 @@ class ParallelCampaignEngine:
         model: str = "FSYNC",
         reduction: Optional[str] = "grid",
         max_states: int = 200_000,
+        kernel: str = "object",
     ) -> GridSweepReport:
         """Exhaustive model checks over a family of grid sizes.
 
         Each task runs the full (reduced) state-space exploration; the
         reports carry the verdicts plus per-component reduction statistics.
+        ``kernel`` selects the successor kernel per task (reports are
+        kernel-independent).
         """
         tasks = exhaustive_check_tasks(
-            algorithm, sizes=sizes, model=model, reduction=reduction, max_states=max_states
+            algorithm, sizes=sizes, model=model, reduction=reduction,
+            max_states=max_states, kernel=kernel,
         )
         return GridSweepReport(algorithm=algorithm.name, reports=self.run_tasks(algorithm, tasks))
 

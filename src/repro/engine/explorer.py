@@ -25,10 +25,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional
 
 from ..core.errors import StateSpaceLimitExceeded
 from ..core.grid import Node
+from .profile import KernelProfile, profiling_enabled
 from .reduction import ReductionSpec, resolve_reduction
 from .states import SchedulerState
 from .transition import TransitionSystem
@@ -77,6 +79,11 @@ class Exploration:
     #: serial, sharded and pooled routes); ``None`` when no component is
     #: active.
     reduction_stats: Optional[Dict[str, Dict[str, float]]] = field(default=None)
+    #: Opt-in per-phase wall-clock split (``REPRO_PROFILE=1``; see
+    #: :mod:`repro.engine.profile`) — ``{"kernel", "match_s",
+    #: "canonicalise_s", "dedup_s", "inflate_s", "total_s"}``.  Timing is
+    #: observability, not a result: excluded from equality.
+    profile: Optional[Dict[str, object]] = field(default=None, compare=False)
 
     @property
     def num_states(self) -> int:
@@ -98,6 +105,7 @@ def explore(
     symmetry_reduction: bool = False,
     max_states: int = 200_000,
     start: Optional[SchedulerState] = None,
+    kernel: Optional[str] = None,
 ) -> Exploration:
     """Build the (optionally reduced) reachable successor graph.
 
@@ -107,13 +115,38 @@ def explore(
     ``symmetry_reduction=True`` is the deprecated boolean alias for
     ``reduction="grid"`` (ignored when ``reduction`` is given).
 
+    ``kernel`` selects the successor kernel — ``"object"`` (the
+    authoritative reference), ``"packed"`` (the table-driven fast path of
+    :mod:`repro.engine.packed`) or ``"auto"``; ``None`` keeps whatever
+    transition system the caller built.  Results are kernel-independent.
+    Quotient-free pipelines over a packed system run the wave BFS
+    (``explore_packed``); quotient specs run this loop with the packed
+    system's table-driven ``successors``.
+
     Raises :class:`~repro.core.errors.StateSpaceLimitExceeded` — with the
     exploration context attached — as soon as more than ``max_states``
     distinct states have been discovered.
     """
+    if kernel is not None:
+        # Local import: packed imports this module at load time.
+        from .packed import PackedTransitionSystem, normalize_kernel
+        from .transition import AlgorithmTransitionSystem
+
+        resolved = normalize_kernel(kernel)
+        if resolved == "packed" and not isinstance(ts, PackedTransitionSystem):
+            ts = PackedTransitionSystem(
+                ts.algorithm, ts.grid, ts.model, matcher=getattr(ts, "matcher", None)
+            )
+        elif resolved == "object" and isinstance(ts, PackedTransitionSystem):
+            ts = AlgorithmTransitionSystem(ts.algorithm, ts.grid, ts.model, matcher=ts.matcher)
+
     pipeline = resolve_reduction(reduction, symmetry_reduction, ts.algorithm, ts.grid, ts.model)
     reduce = pipeline.reduced
 
+    if not reduce and hasattr(ts, "explore_packed"):
+        return ts.explore_packed(pipeline, max_states=max_states, start=start)
+
+    profile = KernelProfile("object") if profiling_enabled() else None
     matcher = getattr(ts, "matcher", None)
     stats_before = matcher.stats.snapshot() if matcher is not None else None
     counters_before = pipeline.counters_snapshot()
@@ -133,8 +166,20 @@ def explore(
         assert current == len(succ)
         row: List[int] = []
         row_syms: List[Optional[object]] = []
-        for raw in pipeline.successors(ts, states[current]):
-            rep, h = pipeline.canonicalize(raw)
+        if profile is None:
+            raws = pipeline.successors(ts, states[current])
+        else:
+            t0 = perf_counter()
+            raws = pipeline.successors(ts, states[current])
+            profile.match_s += perf_counter() - t0
+        for raw in raws:
+            if profile is None:
+                rep, h = pipeline.canonicalize(raw)
+            else:
+                t0 = perf_counter()
+                rep, h = pipeline.canonicalize(raw)
+                t1 = perf_counter()
+                profile.canonicalise_s += t1 - t0
             child = index.get(rep)
             if child is None:
                 child = len(states)
@@ -157,6 +202,8 @@ def explore(
             row.append(child)
             if reduce:
                 row_syms.append(h)
+            if profile is not None:
+                profile.dedup_s += perf_counter() - t1
         succ.append(row)
         if reduce:
             assert edge_syms is not None
@@ -176,6 +223,7 @@ def explore(
         ),
         reduction=pipeline.active_spec,
         reduction_stats=pipeline.stats_report(pipeline.counters_delta(counters_before)),
+        profile=profile.as_dict() if profile is not None else None,
     )
 
 

@@ -56,10 +56,11 @@ from .reduction import (
     normalize_reduction,
 )
 from .states import SchedulerState
-from .transition import MODELS, AlgorithmTransitionSystem
+from .transition import MODELS
 
 __all__ = [
     "ExplorationPool",
+    "PACKED_SERIAL_FACTOR",
     "SERIAL_THRESHOLD",
     "default_workers",
     "estimate_states",
@@ -70,6 +71,15 @@ __all__ = [
 #: count falls below this run serially (pool spawn / IPC overhead dominates
 #: there; see ``BENCH_engine.json``), larger ones are sharded.
 SERIAL_THRESHOLD = 10_000
+
+#: How much further the serial route stays competitive under the packed
+#: kernel: its wave BFS expands an order of magnitude more states per
+#: second than the object loop (see ``BENCH_engine.json``'s
+#: ``packed_vs_object`` headlines), so the state count at which worker
+#: spawn / IPC overhead starts to pay is correspondingly higher.
+#: :meth:`ExplorationPool.explore` multiplies its ``serial_threshold`` by
+#: this factor when ``kernel="packed"`` (or ``"auto"``) is requested.
+PACKED_SERIAL_FACTOR = 10
 
 #: Serializes process-pool construction across threads so the
 #: failed-spawn cleanup in :meth:`ExplorationPool._ensure_pool` can
@@ -138,9 +148,12 @@ def estimate_states(
 # ---------------------------------------------------------------------------
 #: One exploration context, fully picklable: everything a worker needs to
 #: rebuild the transition system (and reduction pipeline) it should expand
-#: against.  The last slot is the normalized reduction spec string
-#: (``"none"``, ``"grid"``, ``"grid+color+por"``, ...).
-ExploreKey = Tuple[str, int, int, str, str]  # (algorithm, m, n, model, reduction)
+#: against.  The fifth slot is the normalized reduction spec string
+#: (``"none"``, ``"grid"``, ``"grid+color+por"``, ...); the sixth is the
+#: normalized successor-kernel spec (``"object"`` or ``"packed"``; see
+#: :mod:`repro.engine.packed`).  Five-tuple keys from older callers keep
+#: working and mean the object kernel.
+ExploreKey = Tuple[str, int, int, str, str, str]  # (algorithm, m, n, model, reduction, kernel)
 
 _PROCESS_CACHE: Optional[MatcherCache] = None
 
@@ -148,7 +161,7 @@ _PROCESS_CACHE: Optional[MatcherCache] = None
 #: :data:`ExploreKey` — kept so re-exploring the same workload skips even
 #: the (cheap) system and pipeline construction.  Bounded; see
 #: :data:`_MAX_SYSTEMS`.
-_SYSTEMS: Dict[ExploreKey, Tuple[AlgorithmTransitionSystem, ReductionPipeline]] = {}
+_SYSTEMS: Dict[ExploreKey, Tuple[object, ReductionPipeline]] = {}
 _MAX_SYSTEMS = 64
 
 
@@ -169,17 +182,24 @@ def process_cache() -> MatcherCache:
     return _PROCESS_CACHE
 
 
-def _system(key: ExploreKey) -> Tuple[AlgorithmTransitionSystem, ReductionPipeline]:
-    """The process-local transition system (+ reduction pipeline) for ``key``."""
+def _system(key: ExploreKey) -> Tuple[object, ReductionPipeline]:
+    """The process-local transition system (+ reduction pipeline) for ``key``.
+
+    Accepts legacy five-slot keys (no kernel) for backward compatibility
+    with pre-kernel coordinators; they mean the object kernel.
+    """
     entry = _SYSTEMS.get(key)
     if entry is None:
         from ..algorithms import registry  # local import: workers re-import lazily
+        from .packed import build_transition_system  # local import: module cycle
 
-        name, m, n, model, spec = key
+        name, m, n, model, spec = key[:5]
+        kernel = key[5] if len(key) > 5 else "object"
         algorithm = registry.get(name)
         grid = Grid(m, n)
-        ts = AlgorithmTransitionSystem(
-            algorithm, grid, model, matcher=process_cache().matcher_for(algorithm, grid)
+        ts = build_transition_system(
+            algorithm, grid, model, kernel,
+            matcher=process_cache().matcher_for(algorithm, grid),
         )
         entry = (ts, ReductionPipeline(algorithm, grid, model, spec=spec))
         while len(_SYSTEMS) >= _MAX_SYSTEMS:  # matcher tables persist either way
@@ -357,6 +377,7 @@ class ExplorationPool:
         symmetry_reduction: bool = False,
         max_states: int = 200_000,
         start: Optional[SchedulerState] = None,
+        kernel: Optional[str] = None,
     ) -> Exploration:
         """Explore with adaptive routing; identical to the serial explorer.
 
@@ -372,18 +393,31 @@ class ExplorationPool:
         arguments, including ``StateSpaceLimitExceeded`` context on a
         tripped budget; ``matcher_stats`` reports the route's cache
         counters.
+
+        ``kernel`` selects the successor kernel (``"object"``, ``"packed"``
+        or ``"auto"``); it is carried in the :data:`ExploreKey` so shard
+        workers rebuild the matching transition system.  Because the packed
+        kernel expands roughly an order of magnitude more states per second
+        serially, the routing threshold is scaled by
+        :data:`PACKED_SERIAL_FACTOR` when it is selected — larger workloads
+        stay on the (much faster) serial wave BFS before sharding pays.
         """
         if model not in MODELS:
             raise ValueError(f"unknown model {model!r}")
         if self._closed:
             raise RuntimeError("ExplorationPool is closed")
+        from .packed import normalize_kernel  # local import: avoids a module cycle
         from .sharded import explore_sharded  # local import: avoids a module cycle
 
         spec = normalize_reduction(reduction, symmetry_reduction)
+        knorm = normalize_kernel(kernel)
+        threshold = self.serial_threshold
+        if knorm == "packed":
+            threshold *= PACKED_SERIAL_FACTOR
         serial = (
             self.workers <= 1
             or not registered(algorithm)
-            or estimate_states(algorithm, grid, model, reduction=spec) < self.serial_threshold
+            or estimate_states(algorithm, grid, model, reduction=spec) < threshold
         )
         if serial:
             # workers=1 takes explore_sharded's serial fallback — the one
@@ -398,6 +432,7 @@ class ExplorationPool:
                 max_states=max_states,
                 start=start,
                 cache=self.cache,
+                kernel=knorm,
             )
         return explore_sharded(
             algorithm,
@@ -408,4 +443,5 @@ class ExplorationPool:
             max_states=max_states,
             start=start,
             pool=self,
+            kernel=knorm,
         )

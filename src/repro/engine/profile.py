@@ -1,0 +1,67 @@
+"""Opt-in per-phase time profiling for the exploration kernels.
+
+Set ``REPRO_PROFILE=1`` in the environment and every exploration —
+object-kernel or packed — attaches a wall-clock phase split to
+``Exploration.profile``::
+
+    {"kernel": "packed", "match_s": ..., "canonicalise_s": ...,
+     "dedup_s": ..., "inflate_s": ..., "total_s": ...}
+
+The phases are the four stages every explorer iterates:
+
+* **match** — successor generation: guard evaluation / signature-table
+  lookups plus, for the packed kernel, materialising the successor codes
+  (table probing and code arithmetic are fused in its hot loop, so they
+  are reported as one number);
+* **canonicalise** — orbit-representative selection under the active
+  reduction pipeline (zero when no quotient is active);
+* **dedup** — interning successors into the dense index;
+* **inflate** — converting packed codes back to
+  :class:`~repro.engine.states.SchedulerState` objects at the
+  ``Exploration`` boundary (zero for the object kernel, which never
+  leaves object representation).
+
+Profiling is strictly opt-in because the per-successor clock reads cost
+real time on the hot path; when the variable is unset the explorers skip
+every timing branch.  The numbers are observability, not results:
+``profile`` is excluded from ``Exploration`` equality.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+__all__ = ["PROFILE_ENV", "KernelProfile", "profiling_enabled"]
+
+#: The environment variable that switches phase profiling on.
+PROFILE_ENV = "REPRO_PROFILE"
+
+
+def profiling_enabled() -> bool:
+    """Whether ``REPRO_PROFILE`` asks for a per-phase time split."""
+    return os.environ.get(PROFILE_ENV, "") not in ("", "0", "false", "False")
+
+
+class KernelProfile:
+    """Accumulates the per-phase wall-clock split of one exploration."""
+
+    __slots__ = ("kernel", "match_s", "canonicalise_s", "dedup_s", "inflate_s")
+
+    def __init__(self, kernel: str) -> None:
+        self.kernel = kernel
+        self.match_s = 0.0
+        self.canonicalise_s = 0.0
+        self.dedup_s = 0.0
+        self.inflate_s = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """The picklable report attached to ``Exploration.profile``."""
+        return {
+            "kernel": self.kernel,
+            "match_s": self.match_s,
+            "canonicalise_s": self.canonicalise_s,
+            "dedup_s": self.dedup_s,
+            "inflate_s": self.inflate_s,
+            "total_s": self.match_s + self.canonicalise_s + self.dedup_s + self.inflate_s,
+        }

@@ -62,10 +62,11 @@ from ..core.grid import Grid
 from ..core.algorithm import Algorithm
 from .explorer import Exploration, explore
 from .matcher import MatcherCache, MatcherStats
+from .packed import build_transition_system, normalize_kernel
 from .pool import ExploreKey, ExplorationPool, default_workers, expand_shard, registered
 from .reduction import ReductionPipeline, ReductionSpec, normalize_reduction
 from .states import SchedulerState, initial_state
-from .transition import MODELS, AlgorithmTransitionSystem
+from .transition import MODELS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a module cycle)
     from .backend import ExecutionBackend
@@ -90,6 +91,7 @@ def explore_sharded(
     cache: Optional[MatcherCache] = None,
     pool: Optional[ExplorationPool] = None,
     backend: Optional["ExecutionBackend"] = None,
+    kernel: Optional[str] = None,
 ) -> Exploration:
     """Build the reachable successor graph with a sharded process pool.
 
@@ -105,6 +107,13 @@ def explore_sharded(
     :class:`~repro.engine.reduction.ReductionPipeline`; only the spec
     crosses the process boundary); ``symmetry_reduction=True`` remains the
     deprecated alias for ``reduction="grid"``.
+
+    ``kernel`` selects the successor kernel (``"object"``, ``"packed"`` or
+    ``"auto"``; see :mod:`repro.engine.packed`) and travels inside the
+    :data:`~repro.engine.pool.ExploreKey`, so shard workers rebuild the
+    matching transition system exactly like they rebuild reduction
+    pipelines.  Kernel choice never changes results — every route is
+    parity-gated against the object kernel.
 
     ``pool`` reuses a persistent :class:`~repro.engine.pool.ExplorationPool`
     instead of spawning an ephemeral one (``workers`` defaults to the
@@ -124,7 +133,8 @@ def explore_sharded(
     if model not in MODELS:
         raise ValueError(f"unknown model {model!r}")
     spec = normalize_reduction(reduction, symmetry_reduction)
-    key: ExploreKey = (algorithm.name, grid.m, grid.n, model, spec)
+    knorm = normalize_kernel(kernel)
+    key: ExploreKey = (algorithm.name, grid.m, grid.n, model, spec, knorm)
     if backend is not None and registered(algorithm):
         shards = max(1, int(getattr(backend, "parallelism", 1) or 1))
         return _sharded_exploration(
@@ -157,7 +167,7 @@ def explore_sharded(
 
                 cache = backend_cache(backend)
         matcher = cache.matcher_for(algorithm, grid) if cache is not None else None
-        ts = AlgorithmTransitionSystem(algorithm, grid, model, matcher=matcher)
+        ts = build_transition_system(algorithm, grid, model, knorm, matcher=matcher)
         return explore(ts, reduction=spec, max_states=max_states, start=start)
 
     if pool is not None:

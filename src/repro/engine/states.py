@@ -23,7 +23,7 @@ working as a re-export.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import FrozenInstanceError, dataclass
 from typing import Optional, Tuple
 
 from ..core.algorithm import Algorithm
@@ -46,31 +46,93 @@ __all__ = [
 FrozenSnapshot = Tuple[Tuple[Tuple[int, int], Optional[Tuple[str, ...]]], ...]
 
 
-@dataclass(frozen=True, slots=True)
 class AsyncRobotState:
     """One robot's record inside a canonical scheduler state.
 
     Slotted: explorations hold hundreds of thousands of records, so dropping
     the per-instance ``__dict__`` is a measurable memory and attribute-access
     win on the kernel's hottest data.
+
+    Hand-rolled (rather than a frozen dataclass) so the canonical sort key
+    and the hash can be *cached in slots*: ``SchedulerState.from_records``
+    sorts by :meth:`key` on every single successor the explorer generates,
+    and a dataclass would rebuild the 6-tuple on each call.  Semantics are
+    identical to the previous ``@dataclass(frozen=True, slots=True)``
+    declaration — same constructor signature and defaults, value equality
+    and hashing over the six fields, :class:`dataclasses.FrozenInstanceError`
+    on mutation — with both caches dropped on pickling (string hashing is
+    per-process, see :class:`SchedulerState`).
     """
 
-    pos: Node
-    color: str
-    phase: str = "idle"  # "idle" | "looked" | "computed"
-    snapshot: Optional[FrozenSnapshot] = None
-    pending_color: Optional[str] = None
-    pending_move: Optional[Tuple[int, int]] = None
+    __slots__ = ("pos", "color", "phase", "snapshot", "pending_color", "pending_move", "_key", "_hash")
+
+    def __init__(
+        self,
+        pos: Node,
+        color: str,
+        phase: str = "idle",  # "idle" | "looked" | "computed"
+        snapshot: Optional[FrozenSnapshot] = None,
+        pending_color: Optional[str] = None,
+        pending_move: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        object.__setattr__(self, "pos", pos)
+        object.__setattr__(self, "color", color)
+        object.__setattr__(self, "phase", phase)
+        object.__setattr__(self, "snapshot", snapshot)
+        object.__setattr__(self, "pending_color", pending_color)
+        object.__setattr__(self, "pending_move", pending_move)
+
+    def __setattr__(self, name, value):
+        raise FrozenInstanceError(f"cannot assign to field {name!r}")
+
+    def __delattr__(self, name):
+        raise FrozenInstanceError(f"cannot delete field {name!r}")
+
+    def _fields(self):
+        return (self.pos, self.color, self.phase, self.snapshot, self.pending_color, self.pending_move)
+
+    def __eq__(self, other):
+        if other.__class__ is AsyncRobotState:
+            return self._fields() == other._fields()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            cached = hash(self._fields())
+            object.__setattr__(self, "_hash", cached)
+            return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AsyncRobotState(pos={self.pos!r}, color={self.color!r}, phase={self.phase!r}, "
+            f"snapshot={self.snapshot!r}, pending_color={self.pending_color!r}, "
+            f"pending_move={self.pending_move!r})"
+        )
+
+    def __getstate__(self):
+        # Ship only the six fields; both caches are per-process.
+        return self._fields()
+
+    def __setstate__(self, fields) -> None:
+        for name, value in zip(self.__slots__, fields):
+            object.__setattr__(self, name, value)
 
     def key(self):
-        return (
-            self.pos,
-            self.color,
-            self.phase,
-            self.snapshot if self.snapshot is not None else (),
-            self.pending_color or "",
-            self.pending_move if self.pending_move is not None else (9, 9),
-        )
+        try:
+            return self._key
+        except AttributeError:
+            cached = (
+                self.pos,
+                self.color,
+                self.phase,
+                self.snapshot if self.snapshot is not None else (),
+                self.pending_color or "",
+                self.pending_move if self.pending_move is not None else (9, 9),
+            )
+            object.__setattr__(self, "_key", cached)
+            return cached
 
 
 def _content_key(content):

@@ -132,6 +132,7 @@ def exhaustive_sweep(
     max_states: int = 200_000,
     pool: Optional[ExplorationPool] = None,
     backend: Optional["ExecutionBackend"] = None,
+    kernel: str = "object",
 ) -> GridSweepReport:
     """Exhaustive model checks over a family of (small) grid sizes.
 
@@ -141,9 +142,12 @@ def exhaustive_sweep(
     :mod:`repro.engine.reduction`); the verdicts are reduction-independent,
     only the explored state counts and wall time shrink.  Reports carry the
     per-component reduction statistics alongside the cache counters.
+    ``kernel="packed"`` runs each check on the packed successor kernel
+    (:mod:`repro.engine.packed`); verdicts are kernel-independent.
     """
     tasks = exhaustive_check_tasks(
-        algorithm, sizes=sizes, model=model, reduction=reduction, max_states=max_states
+        algorithm, sizes=sizes, model=model, reduction=reduction,
+        max_states=max_states, kernel=kernel,
     )
     return _run_campaign(algorithm, tasks, pool, backend)
 
