@@ -6,6 +6,9 @@
 #   make test    - tier-1 test suite only
 #   make smoke   - smoke-benchmark guard only (CI uploads its output)
 #   make lint    - ruff over the whole tree (config in pyproject.toml)
+#   make chaos   - fault-injection parity check: worker kills and a
+#                  coordinator crash must leave campaign verdicts
+#                  byte-identical to the serial engine (CI's chaos-smoke)
 #   make bench   - full engine benchmark; rewrites BENCH_engine.json
 #                  (seed-vs-engine, cold-vs-cached-vs-sharded, cross-size
 #                  cache reuse, pooled reuse, reduction quotients,
@@ -14,7 +17,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test smoke lint bench
+.PHONY: verify test smoke lint chaos bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +29,9 @@ verify: test smoke
 
 lint:
 	ruff check .
+
+chaos:
+	$(PYTHON) -m repro.engine.distributed chaos
 
 bench:
 	$(PYTHON) benchmarks/bench_engine.py

@@ -31,6 +31,10 @@ paper are implemented; every other layer consumes it:
 * :mod:`repro.engine.distributed` — TCP worker daemons and the
   length-prefixed-pickle coordinator (:class:`DistributedBackend`) that
   fans the same payloads out beyond one machine;
+* :mod:`repro.engine.faults` — deterministic, seeded fault injection
+  (:class:`FaultPlan`) for chaos-testing the distributed stack;
+* :mod:`repro.engine.journal` — the durable, resumable campaign verdict
+  journal (:class:`CampaignJournal`);
 * :mod:`repro.engine.walk` — the lazy single-path simulator;
 * :mod:`repro.engine.suites` — shared grid-size suites;
 * :mod:`repro.engine.campaign` — batched serial/parallel campaign runner.
@@ -52,8 +56,19 @@ from .campaign import (
     stress_test_tasks,
     verify_one,
 )
-from .backend import ExecutionBackend, PoolBackend, SerialBackend, backend_cache
+from .backend import (
+    ExecutionBackend,
+    FallbackBackend,
+    FleetLostError,
+    NoWorkersError,
+    PoisonedItemError,
+    PoolBackend,
+    SerialBackend,
+    backend_cache,
+)
 from .explorer import Exploration, explore, guaranteed_nodes, has_cycle, topological_order
+from .faults import Fault, FaultInjected, FaultPlan
+from .journal import CampaignJournal
 from .matcher import LocalMatcher, MatcherCache, MatcherStats
 from .packed import (
     HAS_NUMPY,
@@ -107,7 +122,7 @@ from .walk import TieBreak, default_step_budget, run, run_async, run_fsync, run_
 #: daemon CLI runs ``python -m repro.engine.distributed``, and importing
 #: that module eagerly here would make ``runpy`` execute it twice.
 _DISTRIBUTED_EXPORTS = frozenset(
-    {"DistributedBackend", "WorkerDaemon", "run_worker", "send_message", "recv_message"}
+    {"DistributedBackend", "WorkerDaemon", "WorkerStatus", "run_worker", "send_message", "recv_message"}
 )
 
 
@@ -176,11 +191,21 @@ __all__ = [
     "SerialBackend",
     "PoolBackend",
     "DistributedBackend",
+    "FallbackBackend",
     "WorkerDaemon",
+    "WorkerStatus",
     "backend_cache",
     "run_worker",
     "send_message",
     "recv_message",
+    # resilience
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "CampaignJournal",
+    "FleetLostError",
+    "NoWorkersError",
+    "PoisonedItemError",
     "has_cycle",
     "topological_order",
     "guaranteed_nodes",

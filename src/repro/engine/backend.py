@@ -53,6 +53,10 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "PoolBackend",
+    "FallbackBackend",
+    "FleetLostError",
+    "NoWorkersError",
+    "PoisonedItemError",
     "ShardPayload",
     "ShardResult",
     "backend_cache",
@@ -66,6 +70,55 @@ ShardPayload = Tuple[ExploreKey, List[SchedulerState]]
 #: hit/miss delta, and the reduction-counter delta (the output of
 #: :func:`repro.engine.pool.expand_shard`).
 ShardResult = Tuple[list, Tuple[int, int], Dict[str, int]]
+
+
+# ---------------------------------------------------------------------------
+# Structured execution failures (raised by the distributed backend, handled
+# by the fallback policy below)
+# ---------------------------------------------------------------------------
+class NoWorkersError(TimeoutError):
+    """No worker ever registered within the start timeout.
+
+    A :class:`TimeoutError` subclass (the exception this condition always
+    raised), but now a *named* one so a fallback policy can catch "the
+    fleet never showed up" without matching message strings.
+    """
+
+
+class FleetLostError(RuntimeError):
+    """Every worker died mid-job and none rejoined within the grace window.
+
+    Carries the partial progress so a fallback policy can *finish* the job
+    instead of recomputing it: ``completed`` maps item id to the result
+    already collected, ``pending`` lists the item ids still outstanding
+    (in submission order), and ``kind`` is the job's work shape
+    (``"task"`` / ``"shard"``).
+    """
+
+    def __init__(self, message: str, *, kind: str, completed: Dict[int, object], pending: List[int]) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.completed = dict(completed)
+        self.pending = list(pending)
+
+
+class PoisonedItemError(RuntimeError):
+    """An item exhausted its retry budget by killing every worker that took it.
+
+    Raised for shard jobs (an exploration cannot proceed without the
+    shard's rows); task jobs instead absorb the poison as a structured
+    failure report for that one item.  ``attempts`` names every attempt —
+    which worker took the item and how that attempt died.
+    """
+
+    def __init__(self, item_id: int, attempts: Sequence[str]) -> None:
+        self.item_id = item_id
+        self.attempts = tuple(attempts)
+        detail = "; ".join(self.attempts)
+        super().__init__(
+            f"item {item_id} poisoned its workers: {len(self.attempts)} failed attempt(s)"
+            f" exhausted the retry budget ({detail})"
+        )
 
 
 @runtime_checkable
@@ -199,6 +252,95 @@ class PoolBackend:
         self.close()
 
 
+class FallbackBackend:
+    """Finish a job locally when the primary backend loses its fleet.
+
+    The opt-in graceful-degradation policy: wraps a *primary* backend
+    (typically the TCP :class:`~repro.engine.distributed.DistributedBackend`)
+    and a local *fallback* (a fresh :class:`SerialBackend` by default; pass
+    a :class:`PoolBackend` to degrade onto the local pool instead).  When
+    the primary raises :class:`NoWorkersError` (the fleet never arrived) or
+    :class:`FleetLostError` (the fleet died mid-job), the fallback
+    evaluates only the *outstanding* items and the results are merged with
+    whatever the primary completed — legal because both work shapes are
+    pure functions of their payloads, so where an item ran is unobservable
+    in the output.
+
+    Degradations are counted in :attr:`stats` (``fallback_jobs`` /
+    ``fallback_items``) rather than raised: a sweep that limps home on the
+    local machine reports *that it did so*, but still reports.
+    :class:`~PoisonedItemError` is deliberately **not** absorbed — a
+    payload that killed every remote worker that touched it must not be
+    handed to the local process.
+    """
+
+    def __init__(self, primary, fallback=None) -> None:
+        self.primary = primary
+        self.fallback = fallback if fallback is not None else SerialBackend()
+        self.stats: Dict[str, int] = {"fallback_jobs": 0, "fallback_items": 0}
+        self._closed = False
+
+    @property
+    def parallelism(self) -> int:
+        return self.primary.parallelism
+
+    def _finish(self, kind: str, payloads: Sequence[object], exc) -> List[object]:
+        completed = getattr(exc, "completed", {})
+        pending = getattr(exc, "pending", None)
+        if pending is None:  # NoWorkersError: nothing ever ran
+            pending = list(range(len(payloads)))
+        remainder = [payloads[item_id] for item_id in pending]
+        if kind == "task":
+            finished = self.fallback.run_tasks(remainder)
+        else:
+            finished = self.fallback.map_shards(remainder)
+        self.stats["fallback_jobs"] += 1
+        self.stats["fallback_items"] += len(remainder)
+        results: List[object] = [None] * len(payloads)
+        for item_id, value in completed.items():
+            results[item_id] = value
+        for item_id, value in zip(pending, finished):
+            results[item_id] = value
+        return results
+
+    def run_tasks(self, tasks: Sequence[CampaignTask]) -> List[VerificationReport]:
+        self._check_open()
+        tasks = list(tasks)
+        try:
+            return self.primary.run_tasks(tasks)
+        except (NoWorkersError, FleetLostError) as exc:
+            return self._finish("task", tasks, exc)  # type: ignore[return-value]
+
+    def map_shards(self, payloads: Sequence[ShardPayload]) -> List[ShardResult]:
+        self._check_open()
+        payloads = list(payloads)
+        try:
+            return self.primary.map_shards(payloads)
+        except (NoWorkersError, FleetLostError) as exc:
+            return self._finish("shard", payloads, exc)  # type: ignore[return-value]
+
+    # -- lifecycle -----------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.primary.close()
+        finally:
+            self.fallback.close()
+
+    def __enter__(self) -> "FallbackBackend":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 def backend_cache(backend) -> Optional[MatcherCache]:
     """The in-process cache of ``backend``, when it has one.
 
@@ -214,6 +356,10 @@ def backend_cache(backend) -> Optional[MatcherCache]:
     """
     if isinstance(backend, SerialBackend):
         return process_cache()
+    if isinstance(backend, FallbackBackend):
+        # Serial fallbacks of a degradable backend should warm the cache
+        # its local half would use, not a throwaway one.
+        return backend_cache(backend.fallback)
     pool = getattr(backend, "pool", None)
     if isinstance(pool, ExplorationPool):
         return pool.cache

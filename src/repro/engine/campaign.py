@@ -560,8 +560,105 @@ class ParallelCampaignEngine:
         self.backend = backend
 
     # -- execution -----------------------------------------------------
-    def run_tasks(self, algorithm: Algorithm, tasks: Sequence[CampaignTask]) -> List[VerificationReport]:
+    def run_tasks(
+        self,
+        algorithm: Algorithm,
+        tasks: Sequence[CampaignTask],
+        *,
+        journal=None,
+        resume: bool = True,
+    ) -> List[VerificationReport]:
+        """Execute ``tasks`` in task order, optionally journalled.
+
+        ``journal`` — a :class:`~repro.engine.journal.CampaignJournal` or a
+        path to open one at — makes the run *durable*: every completed
+        report is appended (and fsynced) to the journal before the call
+        returns, keyed by a content hash of its task.  With ``resume=True``
+        (the default) journaled verdicts are replayed instead of
+        re-executed, so a campaign killed mid-run and re-pointed at the
+        same journal finishes the remainder and returns reports identical
+        to an uninterrupted run's (every report is a pure function of its
+        task).  ``resume=False`` truncates a path-opened journal first.
+        A journal opened here is closed here; a passed-in instance stays
+        open (the caller owns its lifecycle).
+        """
         tasks = list(tasks)
+        if journal is None:
+            return self._dispatch(algorithm, tasks)
+        from .journal import CampaignJournal  # local import: keeps import cheap
+
+        owned = not isinstance(journal, CampaignJournal)
+        jnl = CampaignJournal(journal, fresh=not resume) if owned else journal
+        try:
+            keys = [CampaignJournal.task_key(task) for task in tasks]
+            results: List[Optional[VerificationReport]] = [
+                jnl.get(key) if resume else None for key in keys
+            ]
+            pending = [index for index, report in enumerate(results) if report is None]
+            if pending:
+                self._run_journaled(algorithm, tasks, keys, results, pending, jnl)
+            return results  # type: ignore[return-value]
+        finally:
+            if owned:
+                jnl.close()
+
+    def _run_journaled(
+        self,
+        algorithm: Algorithm,
+        tasks: List[CampaignTask],
+        keys: List[str],
+        results: List[Optional[VerificationReport]],
+        pending: List[int],
+        jnl,
+    ) -> None:
+        """Execute the pending items, journalling each completed report.
+
+        Routing mirrors :meth:`_dispatch`, but execution is granular so
+        durability is too: serial runs journal per task, pooled runs
+        journal per result as ``imap`` streams them back, and backend runs
+        journal per wave of ``workers * chunksize`` items (a backend call
+        is all-or-nothing, so the wave is the durability quantum).
+        """
+
+        def commit(index: int, report: VerificationReport) -> None:
+            results[index] = report
+            jnl.put(keys[index], report)
+
+        if self.backend is not None and registered(algorithm):
+            wave = max(1, self.workers * self.chunksize)
+            for start in range(0, len(pending), wave):
+                ids = pending[start : start + wave]
+                for index, report in zip(ids, self.backend.run_tasks([tasks[i] for i in ids])):
+                    commit(index, report)
+            return
+        workers = min(self.workers, self.pool.workers) if self.pool is not None else self.workers
+        if workers <= 1 or len(pending) <= 1 or not registered(algorithm):
+            if self.pool is not None:
+                cache = self.pool.cache
+            elif self.backend is not None:
+                from .backend import backend_cache  # local import: module cycle
+
+                cache = backend_cache(self.backend)
+            else:
+                cache = MatcherCache()
+            for index in pending:
+                commit(index, execute_tasks(algorithm, [tasks[index]], cache=cache)[0])
+            return
+        pending_tasks = [tasks[index] for index in pending]
+        if self.pool is not None:
+            reports = self.pool.imap(run_task, pending_tasks, chunksize=self.chunksize)
+            for index, report in zip(pending, reports):
+                commit(index, report)
+            return
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        with context.Pool(processes=min(self.workers, len(pending_tasks))) as pool:
+            reports = pool.imap(run_task, pending_tasks, chunksize=self.chunksize)
+            for index, report in zip(pending, reports):
+                commit(index, report)
+
+    def _dispatch(self, algorithm: Algorithm, tasks: List[CampaignTask]) -> List[VerificationReport]:
         if self.backend is not None and tasks and registered(algorithm):
             # Even a single task ships: a remote backend's workers are not
             # this process, and their caches are the ones worth warming.
@@ -601,9 +698,14 @@ class ParallelCampaignEngine:
         model: str = "FSYNC",
         seed: Optional[int] = None,
         tie_break: str = TieBreak.ERROR,
+        journal=None,
+        resume: bool = True,
     ) -> GridSweepReport:
         tasks = grid_sweep_tasks(algorithm, sizes=sizes, model=model, seed=seed, tie_break=tie_break)
-        return GridSweepReport(algorithm=algorithm.name, reports=self.run_tasks(algorithm, tasks))
+        return GridSweepReport(
+            algorithm=algorithm.name,
+            reports=self.run_tasks(algorithm, tasks, journal=journal, resume=resume),
+        )
 
     def stress_test(
         self,
@@ -612,9 +714,14 @@ class ParallelCampaignEngine:
         models: Sequence[str] = ("SSYNC", "ASYNC"),
         seeds: Sequence[int] = tuple(range(10)),
         tie_break: str = TieBreak.FIRST,
+        journal=None,
+        resume: bool = True,
     ) -> GridSweepReport:
         tasks = stress_test_tasks(algorithm, sizes=sizes, models=models, seeds=seeds, tie_break=tie_break)
-        return GridSweepReport(algorithm=algorithm.name, reports=self.run_tasks(algorithm, tasks))
+        return GridSweepReport(
+            algorithm=algorithm.name,
+            reports=self.run_tasks(algorithm, tasks, journal=journal, resume=resume),
+        )
 
     def exhaustive_sweep(
         self,
@@ -624,28 +731,39 @@ class ParallelCampaignEngine:
         reduction: Optional[str] = "grid",
         max_states: int = 200_000,
         kernel: str = "object",
+        journal=None,
+        resume: bool = True,
     ) -> GridSweepReport:
         """Exhaustive model checks over a family of grid sizes.
 
         Each task runs the full (reduced) state-space exploration; the
         reports carry the verdicts plus per-component reduction statistics.
         ``kernel`` selects the successor kernel per task (reports are
-        kernel-independent).
+        kernel-independent).  ``journal``/``resume`` make the sweep
+        durable and resumable — see :meth:`run_tasks`.
         """
         tasks = exhaustive_check_tasks(
             algorithm, sizes=sizes, model=model, reduction=reduction,
             max_states=max_states, kernel=kernel,
         )
-        return GridSweepReport(algorithm=algorithm.name, reports=self.run_tasks(algorithm, tasks))
+        return GridSweepReport(
+            algorithm=algorithm.name,
+            reports=self.run_tasks(algorithm, tasks, journal=journal, resume=resume),
+        )
 
     def verify_algorithm(
         self,
         algorithm: Algorithm,
         sizes: Optional[Iterable[Tuple[int, int]]] = None,
         seeds: Sequence[int] = tuple(range(5)),
+        journal=None,
+        resume: bool = True,
     ) -> GridSweepReport:
         """The full campaign appropriate for an algorithm's claimed model."""
         tasks = grid_sweep_tasks(algorithm, sizes=sizes, model="FSYNC")
         if algorithm.synchrony == "ASYNC":
             tasks.extend(stress_test_tasks(algorithm, sizes=sizes, seeds=seeds))
-        return GridSweepReport(algorithm=algorithm.name, reports=self.run_tasks(algorithm, tasks))
+        return GridSweepReport(
+            algorithm=algorithm.name,
+            reports=self.run_tasks(algorithm, tasks, journal=journal, resume=resume),
+        )

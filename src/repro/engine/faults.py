@@ -1,0 +1,237 @@
+"""Deterministic, seeded fault injection for the distributed execution stack.
+
+Chaos testing the TCP campaign machinery (:mod:`repro.engine.distributed`)
+needs faults that are *replayable*: "corrupt the third frame worker 0
+sends", "hang worker 1 on its first item", "kill the daemon evaluating
+item 2", "crash the coordinator after two journaled verdicts" — and the
+same plan must trigger the same faults at the same points every run, so a
+parity failure under chaos is a bug, never flake.
+
+A :class:`FaultPlan` is a declarative list of :class:`Fault` specs plus a
+seed.  The execution stack calls back into the plan at well-known **sites**
+as events stream past; the plan counts events per site (per process — a
+plan pickled into a worker daemon starts its counters fresh there, which
+is what makes worker-side indices deterministic per connection) and fires
+the matching fault, if any:
+
+==================== =====================================================
+site                 one event per ...
+==================== =====================================================
+``coordinator.send`` work frame the coordinator ships to a worker
+``worker.result``    result/error frame a worker sends back
+``worker.item``      work item a worker connection pulls
+``journal.record``   verdict appended (and fsynced) to a campaign journal
+==================== =====================================================
+
+Faults select their firing point either by ``index`` (the N-th event at
+the site — one-shot, since the counter passes each index once) or by
+``item`` (every event carrying that item id — persistent, which is how a
+*poison payload* is modelled: whichever worker pulls the item dies).
+``worker`` restricts daemon-side faults to one worker slot of a
+:class:`~repro.engine.distributed.WorkerDaemon`.
+
+Actions are interpreted by the call sites:
+
+* ``corrupt`` — :meth:`FaultPlan.frame_out` replaces the frame body with
+  seeded garbage (the length header survives, so framing stays aligned and
+  the receiver fails at decode, exactly like real bit rot past TCP's
+  checksum);
+* ``kill`` — the worker process hard-exits (``os._exit``), the unflushed
+  socket dies with it;
+* ``hang`` — the worker wedges: no heartbeats, no progress, no exit (what
+  a deadlocked C extension looks like from the coordinator);
+* ``delay`` — the worker is merely slow: it sleeps *while heartbeating*,
+  so a deadline-aware coordinator must NOT retire it;
+* ``crash`` — :meth:`FaultPlan.check_crash` raises :class:`FaultInjected`
+  in the calling (coordinator) process, simulating a kill after a durable
+  journal append.
+
+Everything here is test/ops machinery: a plan is opt-in, threaded
+explicitly through ``DistributedBackend(faults=)``,
+``WorkerDaemon(faults=)`` and ``CampaignJournal(faults=)``; no plan means
+not even the counters run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["Fault", "FaultInjected", "FaultPlan"]
+
+#: Frame-header size the corruptor preserves (see
+#: :data:`repro.engine.distributed._HEADER`): corrupting the length prefix
+#: would desynchronize framing instead of exercising decode failure.
+_FRAME_HEADER_BYTES = 8
+
+
+class FaultInjected(RuntimeError):
+    """An injected ``crash`` fault fired (simulated coordinator death)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One declarative fault: where, when, and what.
+
+    Exactly one of ``index`` (N-th event at ``site``; one-shot) and
+    ``item`` (every event carrying that item id; persistent) selects the
+    firing point.  ``worker`` restricts daemon-side sites to one worker
+    slot; ``seconds`` parameterizes ``hang``/``delay``.
+    """
+
+    site: str
+    action: str
+    index: Optional[int] = None
+    item: Optional[int] = None
+    worker: Optional[int] = None
+    seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if (self.index is None) == (self.item is None):
+            raise ValueError("a Fault fires by exactly one of index= or item=")
+
+    def describe(self) -> str:
+        where = f"item {self.item}" if self.item is not None else f"event {self.index}"
+        who = "" if self.worker is None else f" worker {self.worker}"
+        return f"{self.action} at {self.site}[{where}]{who}"
+
+
+def _derived_rng(seed: int, site: str, count: int) -> random.Random:
+    """A stable per-(seed, site, event) RNG for corruption payloads."""
+    digest = hashlib.sha256(repr((seed, site, count)).encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+class FaultPlan:
+    """A replayable set of faults plus the per-site event counters.
+
+    Build declaratively (every builder returns ``self`` for chaining)::
+
+        plan = (FaultPlan(seed=7)
+                .corrupt_result_frame(index=0, worker=0)   # bit-rot worker 0's first reply
+                .kill_worker(item=2)                       # item 2 is a poison payload
+                .crash_coordinator(after_records=2))       # die after 2 journaled verdicts
+
+    Plans are picklable (they travel into worker daemon processes); the
+    event counters and the lock guarding them are per-process state and
+    start fresh on the other side, so "worker 0's first result frame"
+    means the first frame *that process* sends, deterministically.
+    """
+
+    def __init__(self, seed: int = 0, faults: Optional[List[Fault]] = None) -> None:
+        self.seed = seed
+        self._faults: List[Fault] = list(faults or ())
+        self._counters: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- pickling: specs travel, counters are per-process ---------------
+    def __getstate__(self):
+        return {"seed": self.seed, "faults": tuple(self._faults)}
+
+    def __setstate__(self, state) -> None:
+        self.__init__(seed=state["seed"], faults=list(state["faults"]))
+
+    # -- builders --------------------------------------------------------
+    def add(self, fault: Fault) -> "FaultPlan":
+        self._faults.append(fault)
+        return self
+
+    def corrupt_work_frame(self, index: int = 0) -> "FaultPlan":
+        """Corrupt the ``index``-th work frame the coordinator sends."""
+        return self.add(Fault("coordinator.send", "corrupt", index=index))
+
+    def corrupt_result_frame(self, index: int = 0, worker: Optional[int] = None) -> "FaultPlan":
+        """Corrupt the ``index``-th result frame a worker sends back."""
+        return self.add(Fault("worker.result", "corrupt", index=index, worker=worker))
+
+    def kill_worker(
+        self, *, index: Optional[int] = None, item: Optional[int] = None, worker: Optional[int] = None
+    ) -> "FaultPlan":
+        """Hard-kill the worker process pulling the matching item.
+
+        ``item=`` makes the item itself the poison: every worker that ever
+        pulls it dies, which is how the retry-budget/quarantine machinery
+        is exercised.
+        """
+        return self.add(Fault("worker.item", "kill", index=index, item=item, worker=worker))
+
+    def hang_worker(
+        self,
+        *,
+        index: Optional[int] = None,
+        item: Optional[int] = None,
+        worker: Optional[int] = None,
+        seconds: float = 3600.0,
+    ) -> "FaultPlan":
+        """Wedge the worker on the matching item: no heartbeats, no exit."""
+        return self.add(Fault("worker.item", "hang", index=index, item=item, worker=worker, seconds=seconds))
+
+    def delay_item(
+        self,
+        *,
+        index: Optional[int] = None,
+        item: Optional[int] = None,
+        worker: Optional[int] = None,
+        seconds: float = 1.0,
+    ) -> "FaultPlan":
+        """Make the matching item slow but alive (heartbeats keep flowing)."""
+        return self.add(Fault("worker.item", "delay", index=index, item=item, worker=worker, seconds=seconds))
+
+    def crash_coordinator(self, after_records: int = 1) -> "FaultPlan":
+        """Raise :class:`FaultInjected` after the N-th durable journal append."""
+        if after_records < 1:
+            raise ValueError("after_records must be >= 1")
+        return self.add(Fault("journal.record", "crash", index=after_records - 1))
+
+    # -- runtime ---------------------------------------------------------
+    def _next_event(
+        self, site: str, item: Optional[int], worker: Optional[int]
+    ) -> tuple:
+        """Advance the site counter; return ``(event_index, fired_fault)``."""
+        with self._lock:
+            count = self._counters.get(site, 0)
+            self._counters[site] = count + 1
+        for fault in self._faults:
+            if fault.site != site:
+                continue
+            if fault.worker is not None and worker != fault.worker:
+                continue
+            if fault.item is not None:
+                if item is not None and item == fault.item:
+                    return count, fault
+            elif fault.index == count:
+                return count, fault
+        return count, None
+
+    def fire(self, site: str, *, item: Optional[int] = None, worker: Optional[int] = None) -> Optional[Fault]:
+        """Count one event at ``site``; return the fault that fires, if any.
+
+        The counter advances whether or not anything matches — indices are
+        positions in the event stream, not in the fault list.
+        """
+        return self._next_event(site, item, worker)[1]
+
+    def frame_out(
+        self, site: str, frame: bytes, *, item: Optional[int] = None, worker: Optional[int] = None
+    ) -> bytes:
+        """One frame passing ``site`` outbound; corrupted if a fault fires.
+
+        Corruption keeps the length header and replaces the body with
+        seeded garbage — deterministic per (seed, site, event index), so a
+        corrupt frame is the *same* corrupt frame on every replay.
+        """
+        count, fault = self._next_event(site, item, worker)
+        if fault is None or fault.action != "corrupt":
+            return frame
+        rng = _derived_rng(self.seed, site, count)
+        body = rng.randbytes(max(0, len(frame) - _FRAME_HEADER_BYTES))
+        return frame[:_FRAME_HEADER_BYTES] + body
+
+    def check_crash(self, site: str) -> None:
+        """One event at ``site``; raise :class:`FaultInjected` on a crash fault."""
+        fault = self.fire(site)
+        if fault is not None and fault.action == "crash":
+            raise FaultInjected(f"injected crash: {fault.describe()}")

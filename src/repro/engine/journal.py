@@ -1,0 +1,179 @@
+"""Append-only, content-hash-keyed write-ahead journal of campaign verdicts.
+
+A long fleet campaign that dies with its coordinator loses every verdict it
+computed; re-running from scratch is exactly the waste ROADMAP item 2's
+"incremental/resumable campaign log" names.  A :class:`CampaignJournal` is
+the durability layer: every completed report is appended — and fsynced —
+to a single journal file *before* the campaign engine hands it to the
+caller, keyed by a content hash of the work item's spec.  A campaign
+killed mid-run and re-pointed at the same journal replays the journaled
+verdicts and executes only the remainder; because every report is a pure
+function of its task (the engine's core determinism invariant), the merged
+report list is identical to an uninterrupted run's.
+
+Record format
+=============
+The journal is a flat sequence of self-delimiting binary records::
+
+    +----------------+----------------+----------------------------------+
+    | length (4B !I) | crc32  (4B !I) | pickle((key, value)), length B   |
+    +----------------+----------------+----------------------------------+
+
+``key`` is a hex content hash of the work-item spec (see :meth:`task_key`
+— any spec with a deterministic ``repr`` works, so ``ExploreKey``-shaped
+tuples key :class:`~repro.checking.model_checker.CheckResult`\\ s the same
+way), and ``value`` is the completed report object.  Appends are
+``flush`` + ``fsync`` — the write-ahead property — and a crash can
+therefore only ever produce a *torn tail*: on open, records are replayed
+until the first short/corrupt one, the tail is truncated away, and the
+journal is immediately appendable again.  Duplicate keys are legal
+(last-written wins on load), which makes re-recording after a resume
+idempotent rather than an error.
+
+The journal is a single-writer object (one campaign engine at a time);
+readers may load a copy at any time via a fresh :class:`CampaignJournal`.
+
+``faults=`` accepts a :class:`~repro.engine.faults.FaultPlan`; the plan's
+``journal.record`` site fires after each durable append, which is how the
+chaos suite kills a coordinator *between* committed verdicts and proves
+kill/resume parity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a module cycle)
+    from .faults import FaultPlan
+
+__all__ = ["CampaignJournal"]
+
+#: Record header: 4-byte big-endian body length + 4-byte CRC32 of the body.
+_RECORD_HEADER = struct.Struct("!II")
+
+
+class CampaignJournal:
+    """Durable ``{spec-hash: report}`` store with torn-tail recovery.
+
+    Opening loads every intact record into memory (the journal is a
+    verdict log, not a bulk store — campaigns are thousands of reports,
+    not millions of states) and truncates any torn tail left by a crash
+    mid-append, so the file always ends on a record boundary.
+
+    ``fresh=True`` discards any existing contents instead of resuming
+    from them.  Use as a context manager or :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        fresh: bool = False,
+        faults: Optional["FaultPlan"] = None,
+    ) -> None:
+        self.path = Path(path)
+        self._faults = faults
+        self._entries: Dict[str, object] = {}
+        #: Torn bytes discarded from the tail on open (observability: a
+        #: nonzero value means the previous writer died mid-append).
+        self.recovered_bytes = 0
+        if fresh and self.path.exists():
+            self.path.unlink()
+        valid_end = self._load()
+        self._file = open(self.path, "ab")
+        if self._file.tell() > valid_end:
+            self.recovered_bytes = self._file.tell() - valid_end
+            self._file.truncate(valid_end)
+            self._file.seek(valid_end)
+
+    # -- loading ---------------------------------------------------------
+    def _load(self) -> int:
+        """Replay intact records; return the byte offset of the last one."""
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return 0
+        offset = 0
+        for key, value, end in self._records(data):
+            self._entries[key] = value
+            offset = end
+        return offset
+
+    @staticmethod
+    def _records(data: bytes) -> Iterator[Tuple[str, object, int]]:
+        """Yield ``(key, value, end_offset)`` until the first bad record."""
+        offset = 0
+        header = _RECORD_HEADER.size
+        while offset + header <= len(data):
+            length, crc = _RECORD_HEADER.unpack_from(data, offset)
+            body = data[offset + header : offset + header + length]
+            if len(body) < length or zlib.crc32(body) != crc:
+                return  # torn or corrupt tail: everything after is dropped
+            try:
+                key, value = pickle.loads(body)
+            except Exception:  # noqa: BLE001 - undecodable == corrupt
+                return
+            offset += header + length
+            yield key, value, offset
+
+    # -- keys ------------------------------------------------------------
+    @staticmethod
+    def task_key(spec: object) -> str:
+        """A stable content hash of a work-item spec.
+
+        SHA-256 over ``repr(spec)`` — dataclass reprs
+        (:class:`~repro.engine.campaign.CampaignTask`) and primitive tuples
+        (``ExploreKey``) are both deterministic functions of their field
+        values, so equal specs key identically across processes and runs.
+        """
+        return hashlib.sha256(repr(spec).encode("utf-8")).hexdigest()
+
+    # -- store -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[object]:
+        """The journaled value for ``key``, or ``None``."""
+        return self._entries.get(key)
+
+    def put(self, key: str, value: object) -> None:
+        """Durably append one ``(key, value)`` record (flush + fsync).
+
+        The record is on disk before this returns — the write-ahead
+        property resume parity rests on.  An installed fault plan's
+        ``journal.record`` site fires *after* the append, so an injected
+        coordinator crash always lands between committed verdicts.
+        """
+        if self._file.closed:
+            raise RuntimeError("CampaignJournal is closed")
+        body = pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
+        self._file.write(_RECORD_HEADER.pack(len(body), zlib.crc32(body)))
+        self._file.write(body)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._entries[key] = value
+        if self._faults is not None:
+            self._faults.check_crash("journal.record")
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"CampaignJournal({str(self.path)!r}, entries={len(self._entries)})"

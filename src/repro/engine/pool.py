@@ -367,6 +367,22 @@ class ExplorationPool:
             return [fn(item) for item in items]
         return pool.map(fn, items, chunksize=chunksize)
 
+    def imap(self, fn, iterable, chunksize: int = 1):
+        """``pool.imap`` on the persistent workers: results as they finish.
+
+        Same routing and caveats as :meth:`map`, but results stream back in
+        submission order as an iterator — the journalled campaign route
+        uses this so each completed report can be made durable without
+        waiting for the whole batch.
+        """
+        items = list(iterable)
+        if not items:
+            return iter(())
+        pool = self._ensure_pool()
+        if pool is None:
+            return (fn(item) for item in items)
+        return pool.imap(fn, items, chunksize=chunksize)
+
     def explore(
         self,
         algorithm: Algorithm,

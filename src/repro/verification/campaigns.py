@@ -78,6 +78,8 @@ def _run_campaign(
     tasks: List[CampaignTask],
     pool: Optional[ExplorationPool],
     backend: Optional["ExecutionBackend"] = None,
+    journal=None,
+    resume: bool = True,
 ) -> GridSweepReport:
     """Run a task list serially, on a persistent pool, or on a backend.
 
@@ -89,10 +91,23 @@ def _run_campaign(
     the TCP :class:`~repro.engine.distributed.DistributedBackend`) routes
     the same task list wherever its workers live.  ``backend`` supersedes
     ``pool``.
+
+    ``journal`` (a :class:`~repro.engine.journal.CampaignJournal` or a
+    path) makes the campaign durable and — with ``resume=True`` —
+    resumable: completed verdicts are fsynced as they land and replayed
+    instead of re-executed on the next run, with reports identical to an
+    uninterrupted campaign's.
     """
-    if backend is not None or pool is not None:
-        engine = ParallelCampaignEngine(pool=pool, backend=backend)
-        return GridSweepReport(algorithm=algorithm.name, reports=engine.run_tasks(algorithm, tasks))
+    if backend is not None or pool is not None or journal is not None:
+        engine = ParallelCampaignEngine(
+            workers=None if (backend is not None or pool is not None) else 1,
+            pool=pool,
+            backend=backend,
+        )
+        return GridSweepReport(
+            algorithm=algorithm.name,
+            reports=engine.run_tasks(algorithm, tasks, journal=journal, resume=resume),
+        )
     return GridSweepReport(algorithm=algorithm.name, reports=execute_tasks(algorithm, tasks))
 
 
@@ -104,10 +119,12 @@ def grid_sweep(
     tie_break: str = TieBreak.ERROR,
     pool: Optional[ExplorationPool] = None,
     backend: Optional["ExecutionBackend"] = None,
+    journal=None,
+    resume: bool = True,
 ) -> GridSweepReport:
     """Verify terminating exploration over a family of grid sizes."""
     tasks = grid_sweep_tasks(algorithm, sizes=sizes, model=model, seed=seed, tie_break=tie_break)
-    return _run_campaign(algorithm, tasks, pool, backend)
+    return _run_campaign(algorithm, tasks, pool, backend, journal=journal, resume=resume)
 
 
 def stress_test(
@@ -118,10 +135,12 @@ def stress_test(
     tie_break: str = TieBreak.FIRST,
     pool: Optional[ExplorationPool] = None,
     backend: Optional["ExecutionBackend"] = None,
+    journal=None,
+    resume: bool = True,
 ) -> GridSweepReport:
     """Randomized-scheduler campaign for the SSYNC/ASYNC algorithms."""
     tasks = stress_test_tasks(algorithm, sizes=sizes, models=models, seeds=seeds, tie_break=tie_break)
-    return _run_campaign(algorithm, tasks, pool, backend)
+    return _run_campaign(algorithm, tasks, pool, backend, journal=journal, resume=resume)
 
 
 def exhaustive_sweep(
@@ -133,6 +152,8 @@ def exhaustive_sweep(
     pool: Optional[ExplorationPool] = None,
     backend: Optional["ExecutionBackend"] = None,
     kernel: str = "object",
+    journal=None,
+    resume: bool = True,
 ) -> GridSweepReport:
     """Exhaustive model checks over a family of (small) grid sizes.
 
@@ -149,7 +170,7 @@ def exhaustive_sweep(
         algorithm, sizes=sizes, model=model, reduction=reduction,
         max_states=max_states, kernel=kernel,
     )
-    return _run_campaign(algorithm, tasks, pool, backend)
+    return _run_campaign(algorithm, tasks, pool, backend, journal=journal, resume=resume)
 
 
 def verify_algorithm(
@@ -158,14 +179,34 @@ def verify_algorithm(
     seeds: Sequence[int] = tuple(range(5)),
     pool: Optional[ExplorationPool] = None,
     backend: Optional["ExecutionBackend"] = None,
+    journal=None,
+    resume: bool = True,
 ) -> GridSweepReport:
     """The full campaign appropriate for an algorithm's claimed model.
 
     FSYNC algorithms get a deterministic FSYNC sweep; ASYNC algorithms
-    additionally get randomized SSYNC and ASYNC stress runs.
+    additionally get randomized SSYNC and ASYNC stress runs.  A single
+    ``journal`` covers both phases (task content hashes never collide
+    across them).
     """
-    report = grid_sweep(algorithm, sizes=sizes, model="FSYNC", pool=pool, backend=backend)
-    if algorithm.synchrony == "ASYNC":
-        stress = stress_test(algorithm, sizes=sizes, seeds=seeds, pool=pool, backend=backend)
-        report.reports.extend(stress.reports)
+    from ..engine.journal import CampaignJournal
+
+    # Open a path-journal once up front: both phases share it, and opening
+    # it per phase with ``resume=False`` would truncate phase one's records.
+    owned = journal is not None and not isinstance(journal, CampaignJournal)
+    jnl = CampaignJournal(journal, fresh=not resume) if owned else journal
+    try:
+        report = grid_sweep(
+            algorithm, sizes=sizes, model="FSYNC", pool=pool, backend=backend,
+            journal=jnl, resume=resume,
+        )
+        if algorithm.synchrony == "ASYNC":
+            stress = stress_test(
+                algorithm, sizes=sizes, seeds=seeds, pool=pool, backend=backend,
+                journal=jnl, resume=resume,
+            )
+            report.reports.extend(stress.reports)
+    finally:
+        if owned:
+            jnl.close()
     return report
