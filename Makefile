@@ -6,13 +6,14 @@
 #   make test    - tier-1 test suite only
 #   make smoke   - smoke-benchmark guard only (CI uploads its output)
 #   make lint    - ruff over the whole tree (config in pyproject.toml)
-#   make chaos   - fault-injection parity check: worker kills and a
-#                  coordinator crash must leave campaign verdicts
-#                  byte-identical to the serial engine (CI's chaos-smoke)
+#   make chaos   - fault-injection parity check: worker kills, a
+#                  coordinator crash, and a stateful-session kill with
+#                  snapshot restore must all leave verdicts byte-identical
+#                  to the serial engine (CI's chaos-smoke)
 #   make bench   - full engine benchmark; rewrites BENCH_engine.json
 #                  (seed-vs-engine, cold-vs-cached-vs-sharded, cross-size
 #                  cache reuse, pooled reuse, reduction quotients,
-#                  distributed-vs-pooled)
+#                  distributed-vs-pooled, stateless-vs-stateful wave bytes)
 
 PYTHON ?= python
 export PYTHONPATH := src

@@ -29,6 +29,13 @@ machine-readable ledger, ``BENCH_engine.json`` at the repo root:
   (:class:`~repro.engine.distributed.DistributedBackend`); reports must be
   identical to the serial engine's both ways, and the pooled-vs-distributed
   ratio is recorded honestly (on one core the TCP hop is pure overhead);
+* **stateful waves** (PR 8 trajectory) — the suite ASYNC case explored
+  through the same two TCP daemons on the stateless ``map_shards`` route
+  and on the stateful session route
+  (``DistributedBackend.open_exploration``); both merges are
+  parity-enforced against the serial explorer, and the session route must
+  move strictly fewer bytes on the wire per wave (resident frontiers +
+  delta-only exchange), with the bytes-per-wave ratio in the ledger;
 * **packed kernel** (PR 6 trajectory) — the packed successor kernel
   (:mod:`repro.engine.packed`) against the object kernel on warm
   FSYNC/SSYNC/ASYNC cases, parity-enforced field by field before any
@@ -454,6 +461,69 @@ def bench_distributed(daemon_workers: int = 2) -> Tuple[List[dict], float]:
     )
 
 
+def bench_stateful_waves(daemon_workers: int = 2) -> Tuple[List[dict], float, dict]:
+    """The PR-8 trajectory: bytes on the wire, stateless jobs vs sessions.
+
+    Explores :data:`REDUCTION_BENCH_CASE` under the grid quotient through
+    the same two TCP daemons twice — once on the stateless ``map_shards``
+    route (every wave re-ships the shard payloads in full) and once on the
+    stateful session route (frontiers stay resident worker-side; waves
+    exchange intern-table references and only never-seen states travel
+    whole).  Both merges are parity-enforced against the serial explorer
+    before any number is recorded.  Returns the rows, the bytes-per-wave
+    ratio (> 1 means the session route moved strictly fewer bytes), and
+    the session's raw ``wire_stats``.
+    """
+    name, m, n, model = REDUCTION_BENCH_CASE
+    algorithm = get(name)
+    grid = Grid(m, n)
+    label = f"{name} {m}x{n} [{model}] waves"
+    serial = explore_sharded(algorithm, grid, model, workers=1, reduction="grid")
+
+    start = time.perf_counter()
+    with DistributedBackend(min_workers=daemon_workers, sessions=False) as backend:
+        with WorkerDaemon(backend.host, backend.port, workers=daemon_workers).start():
+            stateless = explore_sharded(algorithm, grid, model, backend=backend, reduction="grid")
+        stateless_bytes = backend.stats["bytes_sent"] + backend.stats["bytes_received"]
+    stateless_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with DistributedBackend(min_workers=daemon_workers) as backend:
+        with WorkerDaemon(backend.host, backend.port, workers=daemon_workers).start():
+            stateful = explore_sharded(algorithm, grid, model, backend=backend, reduction="grid")
+        stateful_bytes = backend.stats["bytes_sent"] + backend.stats["bytes_received"]
+    stateful_s = time.perf_counter() - start
+
+    # RuntimeError, not assert: parity must hold even under ``python -O``.
+    # matcher_stats aggregates the remote workers' cache counters and is
+    # the one documented difference between the routes; the graph fields
+    # must be byte-identical.
+    from dataclasses import replace
+
+    if replace(stateless, matcher_stats=None) != replace(serial, matcher_stats=None):
+        raise RuntimeError("stateless wave exploration diverged from the serial explorer")
+    if replace(stateful, matcher_stats=None) != replace(serial, matcher_stats=None):
+        raise RuntimeError("stateful wave exploration diverged from the serial explorer")
+    wire = stateful.wire_stats
+    if not wire or wire["waves"] < 1:
+        raise RuntimeError("the stateful route recorded no session wire stats")
+
+    # Both routes run the identical wave loop, so per-wave bytes compare on
+    # the same denominator; the heartbeat traffic both routes carry rides
+    # in the totals and only dilutes the ratio.
+    waves = wire["waves"]
+    rows = [
+        _case(f"{label} stateless", stateless_s, stateless.num_states, workers=daemon_workers),
+        _case(f"{label} stateful", stateful_s, stateful.num_states, workers=daemon_workers),
+    ]
+    rows[0]["bytes_on_wire"] = stateless_bytes
+    rows[0]["bytes_per_wave"] = stateless_bytes / waves
+    rows[1]["bytes_on_wire"] = stateful_bytes
+    rows[1]["bytes_per_wave"] = stateful_bytes / waves
+    ratio = stateless_bytes / stateful_bytes if stateful_bytes else float("inf")
+    return rows, ratio, dict(wire)
+
+
 def _require_kernel_parity(reference, candidate, label: str) -> None:
     """RuntimeError (survives ``python -O``) unless the explorations match."""
     for field in ("model", "reduced", "states", "index", "succ", "edge_syms",
@@ -587,6 +657,8 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
     rows += reduction_rows
     distributed_rows, distributed_x = bench_distributed()
     rows += distributed_rows
+    stateful_rows, stateful_wire_x, session_wire = bench_stateful_waves()
+    rows += stateful_rows
     packed_rows, packed_x = bench_packed(repetitions)
     rows += packed_rows
     records_rows, records_x = bench_from_records(max(1, repetitions // 10))
@@ -628,6 +700,11 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
         " engine (identical reports; <1 means the TCP hop cost more than it bought)"
     )
     print(
+        f"{reduction_label} over 2 TCP daemons: stateful sessions moved"
+        f" {stateful_wire_x:.2f}x fewer bytes per wave than stateless jobs"
+        f" ({session_wire['waves']} waves, {session_wire['rows_exchanged']} rows exchanged)"
+    )
+    print(
         "packed kernel vs object kernel (warm): "
         + ", ".join(f"{model} {factor:.1f}x" for model, factor in packed_x.items())
     )
@@ -662,6 +739,13 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
         print(
             "FAIL: expected grid+color+por to explore strictly fewer states than the"
             " grid quotient on the reduction bench case",
+            file=sys.stderr,
+        )
+        ok = False
+    if stateful_wire_x <= 1.0:
+        print(
+            "FAIL: expected the stateful session route to move strictly fewer bytes"
+            " per wave than the stateless route on the reduction bench case",
             file=sys.stderr,
         )
         ok = False
@@ -704,6 +788,8 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
             "reduction_grid_quotient_vs_unreduced": grid_quotient_x,
             "reduction_grid_color_por_vs_grid": por_quotient_x,
             "distributed_2daemons_vs_pooled_sweep": distributed_x,
+            "stateful_vs_stateless_bytes_per_wave": stateful_wire_x,
+            "stateful_session_wire": session_wire,
             "packed_vs_object": {
                 "{} {}x{} [{}]".format(name, m, n, model): packed_x[model]
                 for name, m, n, model in PACKED_BENCH_CASES

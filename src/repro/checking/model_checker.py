@@ -92,6 +92,11 @@ class CheckResult:
     #: pruned); deterministic for a given check, but excluded from equality
     #: like the matcher counters — observability, not part of the verdict.
     reduction_stats: Optional[Dict[str, Dict[str, float]]] = field(default=None, compare=False)
+    #: Wire accounting when the exploration ran over a stateful shard
+    #: session (``bytes_sent`` / ``bytes_received`` / ``rows_exchanged`` /
+    #: ``waves``; see :mod:`repro.engine.distributed`).  Transport
+    #: observability, excluded from equality like the matcher counters.
+    wire_stats: Optional[Dict[str, int]] = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -162,8 +167,9 @@ def _explore(
     spec = normalize_reduction(reduction, symmetry_reduction)
     if backend is not None:
         # An ExecutionBackend supersedes pool/workers/cache: the wave loop
-        # fans shards out through backend.map_shards (possibly over TCP
-        # worker daemons), byte-identical to the serial path either way.
+        # advances a stateful shard session when the backend offers one,
+        # else fans shards out through backend.map_shards (possibly over
+        # TCP worker daemons) — byte-identical to the serial path either way.
         return explore_sharded(
             algorithm,
             grid,
@@ -339,6 +345,7 @@ def check_terminating_exploration(
             matcher_stats=exploration.matcher_stats,
             reduction=exploration.reduction,
             reduction_stats=exploration.reduction_stats,
+            wire_stats=exploration.wire_stats,
         )
 
     all_nodes = frozenset(grid.nodes())
@@ -368,4 +375,5 @@ def check_terminating_exploration(
         matcher_stats=exploration.matcher_stats,
         reduction=exploration.reduction,
         reduction_stats=exploration.reduction_stats,
+        wire_stats=exploration.wire_stats,
     )

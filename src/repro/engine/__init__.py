@@ -30,11 +30,14 @@ paper are implemented; every other layer consumes it:
   exploration shards, all result-identical);
 * :mod:`repro.engine.distributed` — TCP worker daemons and the
   length-prefixed-pickle coordinator (:class:`DistributedBackend`) that
-  fans the same payloads out beyond one machine;
+  fans the same payloads out beyond one machine, including stateful
+  shard sessions (:class:`ShardSession`) with resident worker frontiers
+  and delta-only wave exchange;
 * :mod:`repro.engine.faults` — deterministic, seeded fault injection
   (:class:`FaultPlan`) for chaos-testing the distributed stack;
 * :mod:`repro.engine.journal` — the durable, resumable campaign verdict
-  journal (:class:`CampaignJournal`);
+  journal (:class:`CampaignJournal`) and the checkpointed shard-snapshot
+  store (:class:`ShardSnapshotStore`) session recovery restores from;
 * :mod:`repro.engine.walk` — the lazy single-path simulator;
 * :mod:`repro.engine.suites` — shared grid-size suites;
 * :mod:`repro.engine.campaign` — batched serial/parallel campaign runner.
@@ -64,11 +67,12 @@ from .backend import (
     PoisonedItemError,
     PoolBackend,
     SerialBackend,
+    ShardSession,
     backend_cache,
 )
 from .explorer import Exploration, explore, guaranteed_nodes, has_cycle, topological_order
 from .faults import Fault, FaultInjected, FaultPlan
-from .journal import CampaignJournal
+from .journal import CampaignJournal, ShardSnapshotStore
 from .matcher import LocalMatcher, MatcherCache, MatcherStats
 from .packed import (
     HAS_NUMPY,
@@ -192,6 +196,7 @@ __all__ = [
     "PoolBackend",
     "DistributedBackend",
     "FallbackBackend",
+    "ShardSession",
     "WorkerDaemon",
     "WorkerStatus",
     "backend_cache",
@@ -203,6 +208,7 @@ __all__ = [
     "FaultInjected",
     "FaultPlan",
     "CampaignJournal",
+    "ShardSnapshotStore",
     "FleetLostError",
     "NoWorkersError",
     "PoisonedItemError",

@@ -57,8 +57,10 @@ __all__ = [
     "FleetLostError",
     "NoWorkersError",
     "PoisonedItemError",
+    "ShardFrontier",
     "ShardPayload",
     "ShardResult",
+    "ShardSession",
     "backend_cache",
 ]
 
@@ -70,6 +72,50 @@ ShardPayload = Tuple[ExploreKey, List[SchedulerState]]
 #: hit/miss delta, and the reduction-counter delta (the output of
 #: :func:`repro.engine.pool.expand_shard`).
 ShardResult = Tuple[list, Tuple[int, int], Dict[str, int]]
+
+#: One wave's frontier for a stateful session: ``(shard_id, states)``
+#: slices in shard-id order, occupied shards only.  Shard ids are the
+#: coordinator's hash-partition indices in ``range(session.n_shards)``.
+ShardFrontier = List[Tuple[int, List[SchedulerState]]]
+
+
+@runtime_checkable
+class ShardSession(Protocol):
+    """A stateful exploration session: resident shards, delta-only waves.
+
+    Returned by :meth:`ExecutionBackend.open_exploration` on backends that
+    can keep per-shard state resident between BFS waves (today the TCP
+    :class:`~repro.engine.distributed.DistributedBackend`).  The shard
+    count is fixed at :attr:`n_shards` for the session's lifetime — hash
+    partitioning bakes it into every wave — while *where* each logical
+    shard lives may change underneath (worker leave/join; see
+    :mod:`repro.engine.distributed`).
+
+    :meth:`advance_wave` takes the wave's frontier as full states and
+    returns one :data:`ShardResult` per frontier slice, in input order,
+    with full-state successor rows — exactly the values
+    :meth:`ExecutionBackend.map_shards` would produce for the equivalent
+    ``(key, states)`` payloads.  Any wire-level compression (reference
+    tables, watermarks) is internal to the session; the sharded
+    coordinator merges both routes with the same code, which is the
+    byte-identical-merge argument (see ``docs/architecture.md``).
+    """
+
+    #: The fixed logical shard count the coordinator must partition by.
+    n_shards: int
+
+    def advance_wave(self, frontier: ShardFrontier) -> List[ShardResult]:
+        """Expand one BFS wave; results align with the frontier slices."""
+        ...
+
+    def wire_stats(self) -> Dict[str, int]:
+        """Cumulative wire counters (``bytes_sent`` / ``bytes_received`` /
+        ``rows_exchanged`` / ``waves``) for this session so far."""
+        ...
+
+    def close(self) -> None:
+        """End the session and release its resident shard state."""
+        ...
 
 
 # ---------------------------------------------------------------------------
@@ -146,6 +192,19 @@ class ExecutionBackend(Protocol):
         """Expand one BFS wave's shards; results come back in payload order."""
         ...
 
+    def open_exploration(
+        self, key: ExploreKey, n_shards: Optional[int] = None
+    ) -> Optional[ShardSession]:
+        """Open a stateful :class:`ShardSession` for ``key``, or ``None``.
+
+        ``None`` means "this backend has no resident-state advantage" (the
+        serial and pool backends: their workers already keep caches warm
+        and pay no wire bytes) and the caller should stay on the stateless
+        :meth:`map_shards` route.  ``n_shards`` is a floor on the logical
+        shard count; a session may choose more (one per live worker).
+        """
+        ...
+
     def close(self) -> None:
         """Release workers/sockets; the backend cannot be used afterwards."""
         ...
@@ -180,6 +239,14 @@ class SerialBackend:
     def map_shards(self, payloads: Sequence[ShardPayload]) -> List[ShardResult]:
         self._check_open()
         return [expand_shard(payload) for payload in payloads]
+
+    def open_exploration(
+        self, key: ExploreKey, n_shards: Optional[int] = None
+    ) -> Optional[ShardSession]:
+        # No wire to save bytes on: the serial route *is* the resident
+        # state.  Callers fall back to map_shards.
+        self._check_open()
+        return None
 
     # -- lifecycle -----------------------------------------------------
     def _check_open(self) -> None:
@@ -231,6 +298,15 @@ class PoolBackend:
     def map_shards(self, payloads: Sequence[ShardPayload]) -> List[ShardResult]:
         self._check_open()
         return self.pool.map(expand_shard, payloads)
+
+    def open_exploration(
+        self, key: ExploreKey, n_shards: Optional[int] = None
+    ) -> Optional[ShardSession]:
+        # ``multiprocessing.Pool`` cannot pin work to a specific worker, so
+        # per-shard resident state cannot live pool-side; the stateless
+        # route already keeps the matcher caches warm per process.
+        self._check_open()
+        return None
 
     # -- lifecycle -----------------------------------------------------
     def _check_open(self) -> None:
@@ -319,6 +395,32 @@ class FallbackBackend:
         except (NoWorkersError, FleetLostError) as exc:
             return self._finish("shard", payloads, exc)  # type: ignore[return-value]
 
+    def open_exploration(
+        self, key: ExploreKey, n_shards: Optional[int] = None
+    ) -> Optional[ShardSession]:
+        """Open a degradable session on the primary, or ``None``.
+
+        A fleet that never arrives (:class:`NoWorkersError` at open) means
+        no session — the caller takes the stateless route, whose every
+        ``map_shards`` call this wrapper already degrades.  A session that
+        *does* open is wrapped so a mid-exploration fleet loss switches
+        the remaining waves onto the local fallback instead of raising:
+        legal because :meth:`ShardSession.advance_wave` speaks full states
+        at the API boundary (compression is wire-internal), so the wave
+        the session could not finish is simply re-expanded locally.
+        """
+        self._check_open()
+        opener = getattr(self.primary, "open_exploration", None)
+        if opener is None:
+            return None
+        try:
+            session = opener(key, n_shards)
+        except (NoWorkersError, FleetLostError):
+            return None
+        if session is None:
+            return None
+        return _DegradingSession(self, key, session)
+
     # -- lifecycle -----------------------------------------------------
     def _check_open(self) -> None:
         if self._closed:
@@ -339,6 +441,55 @@ class FallbackBackend:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+class _DegradingSession:
+    """A :class:`ShardSession` that finishes locally when the fleet dies.
+
+    Wraps the primary backend's session for :class:`FallbackBackend`.
+    While the primary is healthy every call passes straight through; the
+    first :class:`FleetLostError`/:class:`NoWorkersError` out of
+    ``advance_wave`` closes the remote session and pins this wrapper to
+    the fallback backend's stateless ``map_shards`` for the rest of the
+    exploration.  The shard count must not change on degradation — hash
+    partitioning fixed it at open — so the fallback expands the same
+    frontier slices the session would have.
+    """
+
+    def __init__(self, owner: FallbackBackend, key: ExploreKey, session: ShardSession) -> None:
+        self._owner = owner
+        self._key = key
+        self._session = session
+        self.n_shards = session.n_shards
+        self._degraded = False
+        self._wire: Dict[str, int] = {}
+
+    def advance_wave(self, frontier: ShardFrontier) -> List[ShardResult]:
+        if not self._degraded:
+            try:
+                return self._session.advance_wave(frontier)
+            except (NoWorkersError, FleetLostError):
+                self._degrade()
+        self._owner.stats["fallback_items"] += len(frontier)
+        return self._owner.fallback.map_shards(
+            [(self._key, states) for _, states in frontier]
+        )
+
+    def _degrade(self) -> None:
+        self._degraded = True
+        self._owner.stats["fallback_jobs"] += 1
+        try:
+            self._wire = dict(self._session.wire_stats())
+            self._session.close()
+        except Exception:  # noqa: BLE001 - the fleet is already gone
+            pass
+
+    def wire_stats(self) -> Dict[str, int]:
+        return dict(self._wire) if self._degraded else dict(self._session.wire_stats())
+
+    def close(self) -> None:
+        if not self._degraded:
+            self._session.close()
 
 
 def backend_cache(backend) -> Optional[MatcherCache]:

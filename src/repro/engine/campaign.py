@@ -549,15 +549,29 @@ class ParallelCampaignEngine:
         pool: Optional[ExplorationPool] = None,
         backend: Optional["ExecutionBackend"] = None,
     ) -> None:
-        if workers is None:
-            if backend is not None:
-                workers = max(1, int(getattr(backend, "parallelism", 1) or 1))
-            else:
-                workers = pool.workers if pool is not None else default_workers()
-        self.workers = workers
+        if workers is None and backend is None:
+            workers = pool.workers if pool is not None else default_workers()
+        # ``None`` with a backend means "the backend's current parallelism":
+        # re-read per use (see :attr:`workers`) instead of frozen here, so
+        # worker daemons that enroll after the engine is built still widen
+        # campaign waves.
+        self._workers = workers
         self.chunksize = max(1, chunksize)
         self.pool = pool
         self.backend = backend
+
+    @property
+    def workers(self) -> int:
+        """The engine's fan-out width.
+
+        Explicitly passed ``workers`` are fixed; when the width was left to
+        a backend, the backend's *live* ``parallelism`` is re-read on every
+        access — a :class:`~repro.engine.distributed.DistributedBackend`
+        whose daemons joined after construction reports them here.
+        """
+        if self._workers is not None:
+            return self._workers
+        return max(1, int(getattr(self.backend, "parallelism", 1) or 1))
 
     # -- execution -----------------------------------------------------
     def run_tasks(

@@ -84,6 +84,12 @@ class Exploration:
     #: "canonicalise_s", "dedup_s", "inflate_s", "total_s"}``.  Timing is
     #: observability, not a result: excluded from equality.
     profile: Optional[Dict[str, object]] = field(default=None, compare=False)
+    #: Wire accounting when the exploration ran over a stateful shard
+    #: session (:mod:`repro.engine.distributed`) — ``{"bytes_sent",
+    #: "bytes_received", "rows_exchanged", "waves"}``.  Transport
+    #: observability, not a result: excluded from equality (the session
+    #: route's graph is byte-identical to the serial one regardless).
+    wire_stats: Optional[Dict[str, int]] = field(default=None, compare=False)
 
     @property
     def num_states(self) -> int:

@@ -241,6 +241,90 @@ def expand_shard(
     return rows, (delta.hits, delta.misses), pipeline.counters_delta(counters_before)
 
 
+class ResidentShard:
+    """Worker-resident state of one logical shard of a stateful session.
+
+    The delta-wave protocol of :mod:`repro.engine.distributed` keeps the
+    frontier *resident* worker-side: each logical shard owns an append-only
+    **intern table** of every state it has ever exchanged with the
+    coordinator, mirrored byte-for-byte on the coordinator end.  Wire
+    traffic then names states by table index wherever possible:
+
+    * a **downlink** frontier entry is either a plain ``int`` (a table
+      index — the state was shipped before, usually as one of this shard's
+      own reported successors) or ``("f", state)`` (a full state, appended
+      to the table by both ends);
+    * an **uplink** successor reference is either a plain ``int`` or
+      ``("n", state)`` for a state this shard has never exchanged
+      (appended by both ends, in report order).
+
+    Both ends process entries in the same order — downlink appends first,
+    then uplink appends — so the tables stay identical without ever being
+    compared.  The table is also the shard's snapshot (see
+    :class:`~repro.engine.journal.ShardSnapshotStore`): restoring it on a
+    fresh worker resumes the compression exactly, and the **watermark**
+    (table length) decides snapshot currency.
+
+    Expansion itself reuses the exact machinery of :func:`expand_shard` —
+    the process-local transition system, reduction pipeline and persistent
+    :func:`process_cache` behind :func:`_system` — so a stateful wave
+    produces the same rows, matcher deltas and reduction-counter deltas a
+    stateless one would.
+    """
+
+    def __init__(self, key: ExploreKey, table: Optional[List[SchedulerState]] = None) -> None:
+        self.key = key
+        self.table: List[SchedulerState] = list(table) if table else []
+        self.seen: Dict[SchedulerState, int] = {state: i for i, state in enumerate(self.table)}
+
+    @property
+    def watermark(self) -> int:
+        """Exchange count of this shard: the length of its intern table."""
+        return len(self.table)
+
+    def _intern(self, state: SchedulerState) -> int:
+        index = len(self.table)
+        self.table.append(state)
+        self.seen[state] = index
+        return index
+
+    def expand_wave(
+        self, entries: List[object]
+    ) -> Tuple[list, Tuple[int, int], Dict[str, int]]:
+        """Expand one wave's frontier entries; returns wire-encoded rows.
+
+        ``entries`` are downlink entries in BFS order; the result rows are
+        aligned with them, each a list of ``(ref, witness-token)`` pairs
+        using the uplink encoding above.  The matcher and reduction deltas
+        are exactly those of the equivalent :func:`expand_shard` call.
+        """
+        ts, pipeline = _system(self.key)
+        states: List[SchedulerState] = []
+        for entry in entries:
+            if isinstance(entry, int):
+                states.append(self.table[entry])
+            else:
+                state = entry[1]
+                self._intern(state)
+                states.append(state)
+        stats_before = ts.matcher.stats.snapshot()
+        counters_before = pipeline.counters_snapshot()
+        rows: list = []
+        for state in states:
+            row: list = []
+            for raw in pipeline.successors(ts, state):
+                rep, h = pipeline.canonicalize(raw)
+                ref = self.seen.get(rep)
+                if ref is None:
+                    self._intern(rep)
+                    row.append((("n", rep), pipeline.witness_token(h)))
+                else:
+                    row.append((ref, pipeline.witness_token(h)))
+            rows.append(row)
+        delta = ts.matcher.stats.delta_since(stats_before)
+        return rows, (delta.hits, delta.misses), pipeline.counters_delta(counters_before)
+
+
 # ---------------------------------------------------------------------------
 # The pool
 # ---------------------------------------------------------------------------

@@ -69,7 +69,7 @@ from .states import SchedulerState, initial_state
 from .transition import MODELS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a module cycle)
-    from .backend import ExecutionBackend
+    from .backend import ExecutionBackend, ShardSession
 
 __all__ = ["explore_sharded", "default_workers"]
 
@@ -120,10 +120,14 @@ def explore_sharded(
     pool's worker count).  ``backend`` — any
     :class:`~repro.engine.backend.ExecutionBackend`, including the TCP
     :class:`~repro.engine.distributed.DistributedBackend` — supersedes
-    both: the wave loop fans its shards out through
-    ``backend.map_shards`` (sharded even at one worker: a remote backend's
-    single worker is still not this process), with the backend's
-    ``parallelism`` as the shard count.  Falls back to the serial explorer
+    both: when the backend opens a stateful shard session
+    (``backend.open_exploration``), the wave loop advances that session —
+    frontiers stay resident worker-side, waves exchange delta-compressed
+    rows, and the returned exploration carries the session's
+    ``wire_stats``; otherwise it fans its shards out through the
+    stateless ``backend.map_shards`` (sharded even at one worker: a
+    remote backend's single worker is still not this process), with the
+    backend's ``parallelism`` as the shard count.  Falls back to the serial explorer
     when ``workers <= 1`` (and no backend is given) or when the algorithm
     is not in the registry (its rules cannot cross the process boundary);
     the fallback runs on ``cache`` — or, absent that, the pool's
@@ -136,6 +140,32 @@ def explore_sharded(
     knorm = normalize_kernel(kernel)
     key: ExploreKey = (algorithm.name, grid.m, grid.n, model, spec, knorm)
     if backend is not None and registered(algorithm):
+        # Prefer the stateful session route when the backend offers one
+        # (today the TCP DistributedBackend): shard frontiers stay
+        # resident worker-side and waves exchange table references instead
+        # of full payloads.  Backends without resident state — and older
+        # duck-typed backends without the method — return/lack None and
+        # take the stateless map_shards route below.
+        opener = getattr(backend, "open_exploration", None)
+        session = opener(key) if opener is not None else None
+        if session is not None:
+            try:
+                return _sharded_exploration(
+                    algorithm,
+                    grid,
+                    model,
+                    key,
+                    backend.map_shards,
+                    workers=session.n_shards,
+                    spec=spec,
+                    max_states=max_states,
+                    start=start,
+                    session=session,
+                )
+            finally:
+                # A tripped state budget (or any other failure) must still
+                # release the fleet's resident shard state.
+                session.close()
         shards = max(1, int(getattr(backend, "parallelism", 1) or 1))
         return _sharded_exploration(
             algorithm,
@@ -213,6 +243,7 @@ def _sharded_exploration(
     spec: str,
     max_states: int,
     start: Optional[SchedulerState],
+    session: Optional["ShardSession"] = None,
 ) -> Exploration:
     """The coordinator: partition waves, fan out via ``map_shards``, merge."""
     # The coordinator's own pipeline canonicalises the root and resolves the
@@ -243,8 +274,15 @@ def _sharded_exploration(
             shards[shard].append(state)
 
         # -- expand every non-empty shard in parallel -----------------
+        # The session route speaks the same full-state frontiers at this
+        # boundary; reference compression is internal to the wire.  Shard
+        # numbers travel with the states so resident worker tables stay
+        # pinned to their logical shard.
         occupied = [shard for shard in range(workers) if shards[shard]]
-        results = map_shards([(key, shards[shard]) for shard in occupied])
+        if session is not None:
+            results = session.advance_wave([(shard, shards[shard]) for shard in occupied])
+        else:
+            results = map_shards([(key, shards[shard]) for shard in occupied])
         rows_by_shard: Dict[int, list] = {}
         for shard, (rows, (hits, misses), reduction_delta) in zip(occupied, results):
             rows_by_shard[shard] = rows
@@ -305,4 +343,5 @@ def _sharded_exploration(
         matcher_stats=total_stats.as_dict(),
         reduction=pipeline.active_spec,
         reduction_stats=pipeline.stats_report(),
+        wire_stats=session.wire_stats() if session is not None else None,
     )

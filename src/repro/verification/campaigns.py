@@ -90,7 +90,8 @@ def _run_campaign(
     the pool, and a ``backend`` (``SerialBackend`` / ``PoolBackend`` /
     the TCP :class:`~repro.engine.distributed.DistributedBackend`) routes
     the same task list wherever its workers live.  ``backend`` supersedes
-    ``pool``.
+    ``pool``.  A backend's fan-out width is read live per wave (not frozen
+    here), so daemons that enroll mid-campaign widen subsequent waves.
 
     ``journal`` (a :class:`~repro.engine.journal.CampaignJournal` or a
     path) makes the campaign durable and — with ``resume=True`` —

@@ -1,0 +1,469 @@
+"""Stateful shard sessions: parity, snapshots, recovery, elasticity.
+
+The session route (``DistributedBackend.open_exploration`` +
+``ShardSession.advance_wave``) promises the same byte-identical merge the
+stateless ``map_shards`` route does, while keeping frontiers resident
+worker-side and exchanging only delta-compressed rows.  These tests pin
+that promise down on the shared reduction-parity suite, then exercise the
+recovery machinery: killing a daemon mid-wave (snapshot restore and stale
+re-partition), a worker joining mid-exploration (elastic rebalancing),
+chaos-plan frame corruption on session frames, and graceful degradation
+through :class:`~repro.engine.backend.FallbackBackend`.
+
+Everything runs under the same hang guard as the distributed tests: a
+wedged socket or condition wait fails instead of hanging the suite.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+
+import pytest
+
+from repro.algorithms import get
+from repro.core import Grid
+from repro.engine import (
+    DistributedBackend,
+    FallbackBackend,
+    FleetLostError,
+    SerialBackend,
+    ShardSession,
+    ShardSnapshotStore,
+    WorkerDaemon,
+    explore_sharded,
+    initial_state,
+)
+from repro.engine.backend import PoolBackend
+from repro.engine.faults import FaultPlan
+from repro.engine.packed import normalize_kernel
+from repro.engine.pool import ResidentShard
+from repro.engine.suites import reduction_parity_suite
+
+#: Generous wall-clock bound for any single test in this module.
+HANG_GUARD_SECONDS = 180
+
+
+@pytest.fixture(autouse=True)
+def hang_guard():
+    """Fail (don't hang) if a test wedges on a socket or condition wait."""
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def _trip(signum, frame):
+        raise TimeoutError(f"test exceeded the {HANG_GUARD_SECONDS}s hang guard")
+
+    previous = signal.signal(signal.SIGALRM, _trip)
+    signal.alarm(HANG_GUARD_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _key(algorithm, m, n, model, spec="none"):
+    """The ExploreKey for a registry algorithm (object kernel, no reduction)."""
+    return (algorithm.name, m, n, model, spec, normalize_kernel(None))
+
+
+# ---------------------------------------------------------------------------
+# The snapshot store
+# ---------------------------------------------------------------------------
+class TestShardSnapshotStore:
+    def test_in_memory_append_watermark_restore(self):
+        with ShardSnapshotStore() as store:
+            assert store.path is None
+            assert store.watermark("s", 0) == 0
+            assert store.restore("s", 0) is None
+            store.append("s", 0, 0, ["a", "b"])
+            store.append("s", 0, 2, ["c"])
+            store.append("s", 1, 0, ["x"])
+            assert store.watermark("s", 0) == 3
+            assert store.restore("s", 0) == ["a", "b", "c"]
+            assert store.restore("s", 1) == ["x"]
+
+    def test_non_contiguous_suffix_is_rejected(self):
+        with ShardSnapshotStore() as store:
+            store.append("s", 0, 0, ["a"])
+            with pytest.raises(ValueError, match="non-contiguous"):
+                store.append("s", 0, 5, ["z"])
+
+    def test_restore_returns_a_copy(self):
+        with ShardSnapshotStore() as store:
+            store.append("s", 0, 0, ["a"])
+            copy = store.restore("s", 0)
+            copy.append("mutated")
+            assert store.restore("s", 0) == ["a"]
+
+    def test_durable_store_reopens_with_reassembled_tables(self, tmp_path):
+        path = tmp_path / "shards.journal"
+        with ShardSnapshotStore(path) as store:
+            store.append("s", 0, 0, ["a", "b"])
+            store.append("s", 0, 2, ["c"])
+        with ShardSnapshotStore(path) as reopened:
+            assert reopened.watermark("s", 0) == 3
+            assert reopened.restore("s", 0) == ["a", "b", "c"]
+
+    def test_drop_session_forgets_tables(self):
+        with ShardSnapshotStore() as store:
+            store.append("s", 0, 0, ["a"])
+            store.append("other", 0, 0, ["b"])
+            store.drop_session("s")
+            assert store.restore("s", 0) is None
+            assert store.restore("other", 0) == ["b"]
+
+
+# ---------------------------------------------------------------------------
+# The worker-resident shard
+# ---------------------------------------------------------------------------
+class TestResidentShard:
+    def test_expand_wave_matches_stateless_expansion_and_interns(self):
+        from repro.engine.pool import expand_shard
+
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(3, 3)
+        key = _key(algorithm, 3, 3, "FSYNC")
+        root = initial_state(algorithm, grid)
+
+        stateless_rows, _, _ = expand_shard((key, [root]))
+        resident = ResidentShard(key)
+        wave_rows, _, _ = resident.expand_wave([("f", root)])
+        # Uplink rows reference the resident table; resolving them must
+        # reproduce the stateless rows exactly.
+        assert resident.table[0] == root
+        resolved = [
+            [
+                (resident.table[ref] if isinstance(ref, int) else ref[1], token)
+                for ref, token in row
+            ]
+            for row in wave_rows
+        ]
+        assert resolved == stateless_rows
+        # A second wave over already-interned states ships only int refs.
+        children = [entry for row in resolved for entry, _ in row]
+        refs = [resident.seen[child] for child in children]
+        rows2, _, _ = resident.expand_wave(refs)
+        assert len(rows2) == len(children)
+
+
+# ---------------------------------------------------------------------------
+# Open/close semantics across backends
+# ---------------------------------------------------------------------------
+class TestOpenExploration:
+    def test_serial_backend_has_no_session_route(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        with SerialBackend() as backend:
+            assert backend.open_exploration(_key(algorithm, 3, 3, "FSYNC")) is None
+
+    def test_pool_backend_has_no_session_route(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        with PoolBackend(workers=2) as backend:
+            assert backend.open_exploration(_key(algorithm, 3, 3, "FSYNC")) is None
+
+    def test_sessions_can_be_disabled(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        with DistributedBackend(min_workers=1, sessions=False) as backend:
+            with WorkerDaemon(backend.host, backend.port, workers=1, heartbeat_interval=0.2).start():
+                assert backend.open_exploration(_key(algorithm, 4, 4, "FSYNC")) is None
+                # The stateless route still serves the exploration.
+                serial = explore_sharded(algorithm, Grid(4, 4), "FSYNC", workers=1)
+                distributed = explore_sharded(algorithm, Grid(4, 4), "FSYNC", backend=backend)
+                assert distributed == serial
+                assert distributed.wire_stats is None
+        assert backend.stats["sessions_opened"] == 0
+
+    def test_open_rereads_parallelism_for_late_joiners(self):
+        """Daemons that enroll after construction widen the shard count."""
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        with DistributedBackend(min_workers=1, start_timeout=60.0) as backend:
+            with WorkerDaemon(backend.host, backend.port, workers=3, heartbeat_interval=0.2).start():
+                deadline = time.monotonic() + 30.0
+                while backend.stats["live_workers"] < 3 and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                session = backend.open_exploration(_key(algorithm, 4, 4, "FSYNC"))
+                try:
+                    assert isinstance(session, ShardSession)
+                    assert session.n_shards == 3
+                finally:
+                    session.close()
+
+    def test_one_session_at_a_time(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        with DistributedBackend(min_workers=1) as backend:
+            with WorkerDaemon(backend.host, backend.port, workers=1, heartbeat_interval=0.2).start():
+                session = backend.open_exploration(_key(algorithm, 4, 4, "FSYNC"))
+                try:
+                    with pytest.raises(RuntimeError, match="one job at a time"):
+                        backend.open_exploration(_key(algorithm, 4, 4, "FSYNC"))
+                finally:
+                    session.close()
+                # Closing releases the slot.
+                second = backend.open_exploration(_key(algorithm, 4, 4, "FSYNC"))
+                second.close()
+
+
+# ---------------------------------------------------------------------------
+# Parity: stateful == stateless == serial
+# ---------------------------------------------------------------------------
+class TestSessionParity:
+    def test_parity_suite_stateful_vs_stateless_vs_serial(self):
+        """Every suite case merges byte-identically on both wire routes."""
+        from dataclasses import replace
+
+        def scrub(exploration):
+            # Cache counters depend on how warm the long-lived daemons
+            # are from earlier cases; the graph itself must be identical.
+            return replace(exploration, matcher_stats=None)
+
+        cases = reduction_parity_suite()
+        with DistributedBackend(min_workers=2) as stateful, DistributedBackend(
+            min_workers=2, sessions=False
+        ) as stateless:
+            with WorkerDaemon(
+                stateful.host, stateful.port, workers=2, heartbeat_interval=0.5
+            ).start(), WorkerDaemon(
+                stateless.host, stateless.port, workers=2, heartbeat_interval=0.5
+            ).start():
+                for name, m, n, model in cases:
+                    algorithm = get(name)
+                    grid = Grid(m, n)
+                    serial = explore_sharded(
+                        algorithm, grid, model, workers=1, reduction="grid"
+                    )
+                    via_session = explore_sharded(
+                        algorithm, grid, model, backend=stateful, reduction="grid"
+                    )
+                    via_jobs = explore_sharded(
+                        algorithm, grid, model, backend=stateless, reduction="grid"
+                    )
+                    assert scrub(via_session) == scrub(serial), (
+                        f"session route diverged on {name} {m}x{n} {model}"
+                    )
+                    assert scrub(via_jobs) == scrub(serial), (
+                        f"stateless route diverged on {name} {m}x{n} {model}"
+                    )
+                    assert via_session.wire_stats is not None
+                    assert via_session.wire_stats["waves"] > 0
+                    assert via_jobs.wire_stats is None
+            stats = stateful.stats
+        assert stats["sessions_opened"] == len(cases)
+        assert stats["bytes_sent"] > 0 and stats["bytes_received"] > 0
+        assert stats["rows_exchanged"] > 0
+
+    def test_check_result_carries_wire_stats(self):
+        from repro.checking import check_terminating_exploration
+
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        serial = check_terminating_exploration(algorithm, Grid(4, 4), model="FSYNC")
+        with DistributedBackend(min_workers=1) as backend:
+            with WorkerDaemon(backend.host, backend.port, workers=1, heartbeat_interval=0.2).start():
+                remote = check_terminating_exploration(
+                    algorithm, Grid(4, 4), model="FSYNC", backend=backend
+                )
+        assert remote == serial  # wire_stats is compare=False observability
+        assert remote.wire_stats is not None
+        assert remote.wire_stats["bytes_sent"] > 0
+        assert serial.wire_stats is None
+
+
+# ---------------------------------------------------------------------------
+# Recovery: kill a daemon mid-wave
+# ---------------------------------------------------------------------------
+class TestSessionRecovery:
+    def _explore_with_kill(self, *, snapshot_every=1, seed=11):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(4, 4)
+        serial = explore_sharded(algorithm, grid, "FSYNC", workers=1)
+        plan = FaultPlan(seed=seed).kill_worker(index=1, worker=0)
+        with DistributedBackend(
+            min_workers=2, item_timeout=30.0, snapshot_every=snapshot_every
+        ) as backend:
+            with WorkerDaemon(
+                backend.host, backend.port, workers=2, heartbeat_interval=0.2, faults=plan
+            ).start():
+                exploration = explore_sharded(algorithm, grid, "FSYNC", backend=backend)
+            stats = backend.stats
+        assert exploration == serial
+        return stats
+
+    def test_kill_one_daemon_mid_wave_restores_from_snapshot(self):
+        stats = self._explore_with_kill(snapshot_every=1)
+        # Per-wave checkpoints mean the dead worker's shards were current:
+        # recovery restores them instead of re-partitioning.
+        assert stats["snapshots_restored"] >= 1
+        assert stats["shards_repartitioned"] == 0
+
+    def test_kill_without_snapshots_repartitions_the_shard(self):
+        stats = self._explore_with_kill(snapshot_every=0)
+        # No checkpoint cadence: the stale (empty) prefix forces a
+        # re-partition — same bytes-identical merge, only wire savings lost.
+        assert stats["shards_repartitioned"] >= 1
+        assert stats["snapshots_restored"] == 0
+
+    def test_corrupt_wave_result_frame_recovers_with_parity(self):
+        """Chaos-plan corruption on a session uplink frame is survivable."""
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(4, 4)
+        serial = explore_sharded(algorithm, grid, "FSYNC", workers=1)
+        plan = FaultPlan(seed=3).corrupt_result_frame(index=1, worker=0)
+        with DistributedBackend(min_workers=2, item_timeout=30.0) as backend:
+            with WorkerDaemon(
+                backend.host, backend.port, workers=2, heartbeat_interval=0.2, faults=plan
+            ).start():
+                exploration = explore_sharded(algorithm, grid, "FSYNC", backend=backend)
+            stats = backend.stats
+        assert exploration == serial
+        # The garbled reply retired its member; its shards were recovered.
+        assert stats["snapshots_restored"] + stats["shards_repartitioned"] >= 1
+
+    def test_fleet_lost_mid_session_raises_structured_error(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        with DistributedBackend(min_workers=1, start_timeout=2.0) as backend:
+            daemon = WorkerDaemon(
+                backend.host, backend.port, workers=1, heartbeat_interval=0.2
+            ).start()
+            session = backend.open_exploration(_key(algorithm, 4, 4, "FSYNC"))
+            root = initial_state(algorithm, Grid(4, 4))
+            session.advance_wave([(0, [root])])
+            daemon.terminate()
+            with pytest.raises(FleetLostError) as excinfo:
+                # Keep advancing until the loss lands (the first call may
+                # still be served from the not-yet-dead connection).
+                for _ in range(50):
+                    session.advance_wave([(0, [root])])
+            assert excinfo.value.kind == "session"
+            session.close()
+
+    def test_durable_snapshot_store_survives_backend_restart(self, tmp_path):
+        """A path-backed store persists shard tables across backends."""
+        path = tmp_path / "shards.journal"
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(4, 4)
+        serial = explore_sharded(algorithm, grid, "FSYNC", workers=1)
+        with DistributedBackend(min_workers=1, snapshot_store=path) as backend:
+            with WorkerDaemon(backend.host, backend.port, workers=1, heartbeat_interval=0.2).start():
+                exploration = explore_sharded(algorithm, grid, "FSYNC", backend=backend)
+        assert exploration == serial
+        # The journal on disk holds the checkpointed suffixes.
+        with ShardSnapshotStore(path) as reopened:
+            totals = sum(
+                reopened.watermark(session, shard)
+                for session, shard in list(reopened._tables)
+            )
+            assert totals > 0
+
+
+# ---------------------------------------------------------------------------
+# Elasticity: joining mid-exploration
+# ---------------------------------------------------------------------------
+class TestSessionElasticity:
+    def test_worker_join_mid_exploration_rebalances_shards(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(4, 4)
+        root = initial_state(algorithm, grid)
+        with DistributedBackend(min_workers=1, start_timeout=60.0) as backend:
+            first = WorkerDaemon(
+                backend.host, backend.port, workers=1, heartbeat_interval=0.2
+            ).start()
+            try:
+                session = backend.open_exploration(_key(algorithm, 4, 4, "FSYNC"), n_shards=4)
+                try:
+                    assert session.n_shards == 4
+                    results = session.advance_wave([(0, [root])])
+                    rows, _hm, _red = results[0]
+                    frontier = [state for row in rows for state, _ in row]
+                    second = WorkerDaemon(
+                        backend.host, backend.port, workers=1, heartbeat_interval=0.2
+                    ).start()
+                    try:
+                        deadline = time.monotonic() + 30.0
+                        while (
+                            backend.stats["shards_moved"] < 1
+                            and time.monotonic() < deadline
+                        ):
+                            time.sleep(0.05)
+                        assert backend.stats["shards_moved"] >= 1
+                        # The rebalanced fleet still serves waves on every shard.
+                        wave = [
+                            (shard, [state])
+                            for shard, state in zip(range(4), frontier)
+                            if state is not None
+                        ]
+                        delivered = session.advance_wave(wave)
+                        assert len(delivered) == len(wave)
+                    finally:
+                        second.terminate()
+                finally:
+                    session.close()
+            finally:
+                first.terminate()
+
+    def test_parity_when_a_worker_joins_mid_exploration(self):
+        """A daemon enrolling mid-run never perturbs the merged graph."""
+        algorithm = get("async_phi2_l2_nochir_k4")
+        grid = Grid(4, 4)
+        serial = explore_sharded(algorithm, grid, "ASYNC", workers=1, reduction="grid")
+        with DistributedBackend(min_workers=1, start_timeout=60.0) as backend:
+            first = WorkerDaemon(
+                backend.host, backend.port, workers=1, heartbeat_interval=0.2
+            ).start()
+            second = None
+            try:
+                import threading
+
+                started = threading.Event()
+
+                def join_late():
+                    started.wait()
+                    time.sleep(0.2)  # mid-exploration, with waves in flight
+                    return WorkerDaemon(
+                        backend.host, backend.port, workers=1, heartbeat_interval=0.2
+                    ).start()
+
+                joiner: list = []
+                thread = threading.Thread(
+                    target=lambda: joiner.append(join_late()), daemon=True
+                )
+                thread.start()
+                started.set()
+                exploration = explore_sharded(
+                    algorithm, grid, "ASYNC", backend=backend, reduction="grid"
+                )
+                thread.join(timeout=30.0)
+                second = joiner[0] if joiner else None
+            finally:
+                first.terminate()
+                if second is not None:
+                    second.terminate()
+        assert exploration == serial
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation
+# ---------------------------------------------------------------------------
+class TestFallbackSessions:
+    def test_session_degrades_to_local_when_the_fleet_dies(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        grid = Grid(4, 4)
+        serial = explore_sharded(algorithm, grid, "FSYNC", workers=1)
+        # Worker 0 (the only worker) dies on its second wave frame; the
+        # fleet never recovers within the short start_timeout, so the
+        # degrading session finishes the exploration locally.
+        plan = FaultPlan(seed=5).kill_worker(index=1, worker=0)
+        primary = DistributedBackend(min_workers=1, start_timeout=2.0, item_timeout=30.0)
+        with FallbackBackend(primary) as backend:
+            with WorkerDaemon(
+                primary.host, primary.port, workers=1, heartbeat_interval=0.2, faults=plan
+            ).start():
+                exploration = explore_sharded(algorithm, grid, "FSYNC", backend=backend)
+        assert exploration == serial
+        assert backend.stats["fallback_jobs"] >= 1
+        assert backend.stats["fallback_items"] >= 1
+        assert primary.stats["sessions_opened"] >= 1
+
+    def test_fallback_without_session_capable_primary_returns_none(self):
+        algorithm = get("fsync_phi2_l2_chir_k2")
+        with FallbackBackend(SerialBackend()) as backend:
+            assert backend.open_exploration(_key(algorithm, 4, 4, "FSYNC")) is None
