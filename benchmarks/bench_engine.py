@@ -36,6 +36,13 @@ machine-readable ledger, ``BENCH_engine.json`` at the repo root:
   parity-enforced against the serial explorer, and the session route must
   move strictly fewer bytes on the wire per wave (resident frontiers +
   delta-only exchange), with the bytes-per-wave ratio in the ledger;
+* **verdict store** (PR 9 trajectory) — the same exhaustive sweep run
+  twice against one on-disk :class:`~repro.engine.store.VerdictStore`:
+  the cold pass computes and durably records every verdict, the warm pass
+  must be answered entirely from the store; both passes are
+  parity-enforced against a store-less serial engine and the cold/warm
+  wall ratio (the re-check speedup every later consumer inherits) lands
+  in the ledger with a >= 10x gate;
 * **packed kernel** (PR 6 trajectory) — the packed successor kernel
   (:mod:`repro.engine.packed`) against the object kernel on warm
   FSYNC/SSYNC/ASYNC cases, parity-enforced field by field before any
@@ -62,6 +69,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from itertools import combinations, product
 from pathlib import Path
@@ -79,6 +87,7 @@ from repro.engine import (
     MatcherCache,
     ParallelCampaignEngine,
     SchedulerState,
+    VerdictStore,
     WorkerDaemon,
     exhaustive_check_tasks,
     explore,
@@ -110,6 +119,11 @@ PACKED_BENCH_CASES = (
 #: The packed-vs-object case the smoke guard re-measures (the FSYNC one —
 #: smallest, so the guard stays cheap).
 PACKED_SMOKE_CASE = PACKED_BENCH_CASES[0]
+
+#: Warm verdict-store hits must beat the cold computing pass by at least
+#: this factor on the exhaustive sweep (a same-machine ratio, so the gate
+#: is hardware-independent like ``kernel_vs_seed``).
+STORE_WARM_SPEEDUP_FLOOR = 10.0
 
 
 # ---------------------------------------------------------------------------
@@ -524,6 +538,64 @@ def bench_stateful_waves(daemon_workers: int = 2) -> Tuple[List[dict], float, di
     return rows, ratio, dict(wire)
 
 
+def _store_sweep(store_path: Path) -> Tuple[int, int, float, float, dict]:
+    """One exhaustive sweep cold (computing) then warm (store hits only).
+
+    Runs the :func:`bench_distributed` task list through a serial engine
+    backed by an on-disk :class:`VerdictStore` twice and returns
+    ``(task_count, states, cold_s, warm_s, store_stats)``.  Both passes
+    are parity-enforced against a store-less serial engine, and the warm
+    pass must be answered entirely from the store.
+    """
+    algorithm = get("fsync_phi2_l2_chir_k2")
+    sizes = [(3, 3), (3, 4), (4, 3), (4, 4)]
+    tasks = exhaustive_check_tasks(algorithm, sizes=sizes, reduction="grid")
+    serial_reports = ParallelCampaignEngine(workers=1).run_tasks(algorithm, tasks)
+    states = sum(report.steps for report in serial_reports)
+
+    with VerdictStore(store_path) as store:
+        engine = ParallelCampaignEngine(workers=1, store=store)
+        start = time.perf_counter()
+        cold_reports = engine.run_tasks(algorithm, tasks)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_reports = engine.run_tasks(algorithm, tasks)
+        warm_s = time.perf_counter() - start
+        stats = store.stats
+
+    # RuntimeError, not assert: cached verdicts must stay byte-identical
+    # to computed ones even under ``python -O``; ``store_stats`` rides
+    # ``compare=False``, so ``==`` checks exactly the verdict fields.
+    if cold_reports != serial_reports:
+        raise RuntimeError("store-backed cold sweep diverged from the serial engine")
+    if warm_reports != serial_reports:
+        raise RuntimeError("warm store sweep diverged from the serial engine")
+    if any(report.store_stats["outcome"] != "hit" for report in warm_reports):
+        raise RuntimeError("warm sweep was not answered entirely from the store")
+    return len(tasks), states, cold_s, warm_s, stats
+
+
+def bench_store() -> Tuple[List[dict], float, dict]:
+    """The PR-9 trajectory: the exhaustive sweep, cold vs warm verdict store.
+
+    The cold pass computes and durably records every verdict of the
+    :func:`bench_distributed` task list; the warm pass re-requests the
+    identical tasks and must be served entirely from the store with
+    byte-identical reports (enforced inside :func:`_store_sweep`).  The
+    cold/warm ratio is the re-check speedup every later consumer of an
+    already-checked spec inherits.  Returns the rows, that ratio, and the
+    store's counter snapshot.
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-verdict-store-") as root:
+        task_count, states, cold_s, warm_s, stats = _store_sweep(Path(root) / "verdicts")
+    label = f"fsync_phi2_l2_chir_k2 exhaustive sweep x{task_count} [FSYNC]"
+    rows = [
+        _case(f"{label} store cold", cold_s, states),
+        _case(f"{label} store warm", warm_s, states),
+    ]
+    return rows, cold_s / warm_s if warm_s else float("inf"), stats
+
+
 def _require_kernel_parity(reference, candidate, label: str) -> None:
     """RuntimeError (survives ``python -O``) unless the explorations match."""
     for field in ("model", "reduced", "states", "index", "succ", "edge_syms",
@@ -659,6 +731,8 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
     rows += distributed_rows
     stateful_rows, stateful_wire_x, session_wire = bench_stateful_waves()
     rows += stateful_rows
+    store_rows, store_x, store_stats = bench_store()
+    rows += store_rows
     packed_rows, packed_x = bench_packed(repetitions)
     rows += packed_rows
     records_rows, records_x = bench_from_records(max(1, repetitions // 10))
@@ -705,6 +779,11 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
         f" ({session_wire['waves']} waves, {session_wire['rows_exchanged']} rows exchanged)"
     )
     print(
+        f"exhaustive sweep against the verdict store: warm hits are {store_x:.2f}x"
+        f" the cold computing pass ({store_stats['hits']} hits,"
+        f" {store_stats['misses']} misses, byte-identical reports)"
+    )
+    print(
         "packed kernel vs object kernel (warm): "
         + ", ".join(f"{model} {factor:.1f}x" for model, factor in packed_x.items())
     )
@@ -749,6 +828,14 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
             file=sys.stderr,
         )
         ok = False
+    if store_x < STORE_WARM_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: expected warm verdict-store hits to beat the cold pass by"
+            f" >= {STORE_WARM_SPEEDUP_FLOOR:.0f}x on the exhaustive sweep"
+            f" (measured {store_x:.1f}x)",
+            file=sys.stderr,
+        )
+        ok = False
     for model in ("FSYNC", "SSYNC"):
         if packed_x[model] < 10.0:
             print(
@@ -790,6 +877,8 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
             "distributed_2daemons_vs_pooled_sweep": distributed_x,
             "stateful_vs_stateless_bytes_per_wave": stateful_wire_x,
             "stateful_session_wire": session_wire,
+            "store_warm_vs_cold_sweep": store_x,
+            "store_stats": store_stats,
             "packed_vs_object": {
                 "{} {}x{} [{}]".format(name, m, n, model): packed_x[model]
                 for name, m, n, model in PACKED_BENCH_CASES
@@ -809,6 +898,11 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
             # normalized like kernel_vs_seed.
             "packed_case": "{} {}x{} [{}]".format(*PACKED_SMOKE_CASE),
             "packed_vs_object": packed_x["FSYNC"],
+            # The verdict-store floor the smoke guard re-measures: warm
+            # hits vs the cold computing pass on the exhaustive sweep,
+            # gated on the absolute (machine-independent) ratio floor.
+            "store_warm_vs_cold": store_x,
+            "store_warm_floor": STORE_WARM_SPEEDUP_FLOOR,
         },
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")
@@ -830,7 +924,11 @@ def run_smoke(repetitions: int, baseline_path: Path) -> int:
     packed-kernel guard re-measures :data:`PACKED_SMOKE_CASE`: the packed
     exploration must stay field-identical to the object one (hard failure)
     and its warm speedup must stay within ``max_regression_factor`` of the
-    recorded ``packed_vs_object`` baseline.
+    recorded ``packed_vs_object`` baseline.  Last the verdict-store guard
+    re-runs the exhaustive sweep cold and warm against a throwaway on-disk
+    store: warm hits must stay byte-identical to computed reports
+    (enforced inside :func:`_store_sweep`) and keep the absolute
+    :data:`STORE_WARM_SPEEDUP_FLOOR` speedup.
     """
     algorithm = get("fsync_phi2_l2_chir_k2")
     grid = Grid(3, 3)
@@ -874,6 +972,25 @@ def run_smoke(repetitions: int, baseline_path: Path) -> int:
         f"smoke: {packed_label} packed kernel: {packed_states / packed_s:.0f} states/s,"
         f" {packed_ratio:.1f}x the object kernel (parity verified)"
     )
+
+    # Verdict-store guard: warm hits must stay byte-identical to computed
+    # reports (enforced inside ``_store_sweep``) and keep the absolute
+    # speedup floor — a same-machine ratio, so no baseline is needed.
+    with tempfile.TemporaryDirectory(prefix="smoke-verdict-store-") as root:
+        task_count, _, store_cold_s, store_warm_s, _ = _store_sweep(Path(root) / "verdicts")
+    store_ratio = store_cold_s / store_warm_s if store_warm_s else float("inf")
+    print(
+        f"smoke: verdict store, exhaustive sweep x{task_count}: warm hits"
+        f" {store_ratio:.1f}x the cold pass (parity verified)"
+    )
+    if store_ratio < STORE_WARM_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: warm verdict-store hits fell below the"
+            f" {STORE_WARM_SPEEDUP_FLOOR:.0f}x floor on the exhaustive sweep"
+            f" ({store_ratio:.1f}x)",
+            file=sys.stderr,
+        )
+        return 1
 
     if not baseline_path.exists():
         print(f"smoke: no baseline at {baseline_path}; run `make bench` to record one")

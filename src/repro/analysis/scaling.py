@@ -23,6 +23,7 @@ from ..engine.walk import TieBreak, run_fsync
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.backend import ExecutionBackend
+    from ..engine.store import VerdictStore
 
 __all__ = [
     "ScalingPoint",
@@ -50,6 +51,7 @@ def round_complexity_sweep(
     cache: Optional[MatcherCache] = None,
     pool: Optional[ExplorationPool] = None,
     backend: Optional["ExecutionBackend"] = None,
+    store: Optional["VerdictStore"] = None,
 ) -> List[ScalingPoint]:
     """Measure FSYNC rounds and moves over a family of grid sizes.
 
@@ -67,18 +69,28 @@ def round_complexity_sweep(
     tasks — each point is a pure function of ``(algorithm, grid)`` under
     the deterministic FSYNC schedule, so the measured steps/moves are
     identical wherever the runs execute (TCP worker daemons included).
+
+    ``store`` (a :class:`~repro.engine.store.VerdictStore`) memoizes each
+    point's run as an ordinary walk verdict — sweeps re-run across
+    sessions are served from disk; the fitted slope is unchanged because
+    stored reports equal computed ones.
     """
     if sizes is None:
         sizes = scaling_suite(algorithm)
     sizes = [(m, n) for m, n in sizes if algorithm.supports_grid(m, n)]
     if backend is not None and registered(algorithm):
-        from ..engine.campaign import CampaignTask  # local import: layering
+        from ..engine.campaign import CampaignTask, ParallelCampaignEngine  # local import: layering
 
         tasks = [
             CampaignTask(algorithm=algorithm.name, m=m, n=n, model="FSYNC", tie_break=TieBreak.FIRST)
             for m, n in sizes
         ]
-        reports = backend.run_tasks(tasks)
+        if store is not None:
+            # The engine's prefilter serves stored points and records fresh
+            # ones; only the remainder crosses the wire.
+            reports = ParallelCampaignEngine(backend=backend, store=store).run_tasks(algorithm, tasks)
+        else:
+            reports = backend.run_tasks(tasks)
         for report in reports:
             # The serial path propagates execution errors; a report whose
             # run never executed (verify_one converts exceptions into
@@ -101,6 +113,24 @@ def round_complexity_sweep(
         ]
     if cache is None:
         cache = pool.cache if pool is not None else MatcherCache()
+    if store is not None and registered(algorithm):
+        from ..engine.campaign import verify_one  # local import: layering
+
+        points = []
+        for m, n in sizes:
+            report = verify_one(
+                algorithm, m, n, model="FSYNC", tie_break=TieBreak.FIRST, cache=cache, store=store
+            )
+            if not report.ok and not report.reason.startswith(
+                ("did not terminate", "terminated with")
+            ):
+                raise VerificationError(
+                    f"scaling sweep run failed on {m}x{n}: {report.reason}"
+                )
+            points.append(
+                ScalingPoint(m=m, n=n, nodes=m * n, steps=report.steps, moves=report.moves)
+            )
+        return points
     points = []
     for m, n in sizes:
         grid = Grid(m, n)
@@ -140,6 +170,7 @@ def state_space_sweep(
     pool: Optional[ExplorationPool] = None,
     reduction: ReductionSpec = None,
     backend: Optional["ExecutionBackend"] = None,
+    store: Optional["VerdictStore"] = None,
 ) -> List[StateSpacePoint]:
     """Measure reachable-state-space growth over a family of grid sizes.
 
@@ -157,6 +188,9 @@ def state_space_sweep(
     ``backend`` supersedes ``pool``: each size's exploration fans its BFS
     waves out through ``backend.map_shards`` instead (see
     :mod:`repro.engine.backend`) — counts still identical.
+    ``store`` memoizes each size's exploration in a
+    :class:`~repro.engine.store.VerdictStore`, so repeated sweeps (and any
+    other store consumer asking for the same exploration) skip the BFS.
     """
     if sizes is None:
         sizes = scaling_suite(algorithm)
@@ -174,6 +208,7 @@ def state_space_sweep(
                 reduction=spec,
                 max_states=max_states,
                 backend=backend,
+                store=store,
             )
         else:
             exploration = pool.explore(
@@ -182,6 +217,7 @@ def state_space_sweep(
                 model,
                 reduction=spec,
                 max_states=max_states,
+                store=store,
             )
         stats = exploration.matcher_stats or {}
         points.append(

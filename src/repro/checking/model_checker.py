@@ -97,6 +97,11 @@ class CheckResult:
     #: ``waves``; see :mod:`repro.engine.distributed`).  Transport
     #: observability, excluded from equality like the matcher counters.
     wire_stats: Optional[Dict[str, int]] = field(default=None, compare=False)
+    #: Verdict-store counters when the check was requested through a
+    #: :class:`~repro.engine.store.VerdictStore` (``hits`` / ``misses`` /
+    #: ``coalesced`` / ``outcome``).  Cache observability, excluded from
+    #: equality: a cached check is identical to a freshly computed one.
+    store_stats: Optional[Dict[str, object]] = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -143,6 +148,7 @@ def _explore(
     pool: Optional[ExplorationPool],
     backend: Optional["ExecutionBackend"] = None,
     kernel: Optional[str] = None,
+    store=None,
 ) -> Exploration:
     """Route one exploration through the pool, the sharded or the serial explorer.
 
@@ -180,6 +186,7 @@ def _explore(
             cache=cache,
             backend=backend,
             kernel=kernel,
+            store=store,
         )
     if pool is not None:
         return pool.explore(
@@ -190,6 +197,7 @@ def _explore(
             max_states=max_states,
             start=start,
             kernel=kernel,
+            store=store,
         )
     # explore_sharded owns both remaining routes: workers > 1 shards over an
     # ephemeral pool, workers <= 1 is the serial explorer on ``cache``.
@@ -203,6 +211,7 @@ def _explore(
         start=start,
         cache=cache,
         kernel=kernel,
+        store=store,
     )
 
 
@@ -219,6 +228,7 @@ def explore_state_space(
     reduction: ReductionSpec = None,
     backend: Optional["ExecutionBackend"] = None,
     kernel: Optional[str] = None,
+    store=None,
 ) -> Dict[SchedulerState, List[SchedulerState]]:
     """Build the successor graph of all reachable scheduler states.
 
@@ -233,8 +243,10 @@ def explore_state_space(
     reuses snapshot/match memo tables across repeated (serial) checks;
     ``pool`` runs the exploration on a persistent
     :class:`~repro.engine.pool.ExplorationPool` (superseding ``workers``
-    and ``cache``, which the pool manages itself).  All three leave the
-    result unchanged.
+    and ``cache``, which the pool manages itself); ``store`` serves the
+    exploration from a persistent
+    :class:`~repro.engine.store.VerdictStore` when it was computed
+    before.  All four leave the result unchanged.
     """
     exploration = _explore(
         algorithm,
@@ -249,6 +261,7 @@ def explore_state_space(
         pool=pool,
         backend=backend,
         kernel=kernel,
+        store=store,
     )
     return exploration.graph()
 
@@ -265,6 +278,7 @@ def enumerate_reachable(
     reduction: ReductionSpec = None,
     backend: Optional["ExecutionBackend"] = None,
     kernel: Optional[str] = None,
+    store=None,
 ) -> int:
     """Number of reachable canonical states (convenience wrapper)."""
     return _explore(
@@ -279,6 +293,7 @@ def enumerate_reachable(
         pool=pool,
         backend=backend,
         kernel=kernel,
+        store=store,
     ).num_states
 
 
@@ -294,6 +309,7 @@ def check_terminating_exploration(
     reduction: ReductionSpec = None,
     backend: Optional["ExecutionBackend"] = None,
     kernel: Optional[str] = None,
+    store=None,
 ) -> CheckResult:
     """Exhaustively decide Definition 1 over all scheduler behaviours.
 
@@ -314,7 +330,62 @@ def check_terminating_exploration(
     also identical under every ``kernel`` (``"object"`` / ``"packed"`` /
     ``"auto"``): the packed successor kernel only changes how fast states
     are expanded, never which states exist.
+
+    ``store`` — a :class:`~repro.engine.store.VerdictStore` — caches the
+    whole :class:`CheckResult` under a content key that includes the
+    normalized reduction spec, kernel spec *and* ``max_states`` (so a
+    budget-limited check can never answer for a roomier one); duplicate
+    concurrent requests coalesce onto a single exploration.  Cached
+    results are identical to computed ones.
     """
+    if store is not None:
+        from ..engine.packed import normalize_kernel
+        from ..engine.pool import registered
+
+        if registered(algorithm):
+            key = (
+                "check",
+                algorithm.name,
+                grid.m,
+                grid.n,
+                model,
+                normalize_reduction(reduction, symmetry_reduction),
+                normalize_kernel(kernel),
+                max_states,
+            )
+            return store.fetch(
+                key,
+                lambda: _run_check(
+                    algorithm, grid, model,
+                    max_states=max_states, symmetry_reduction=symmetry_reduction,
+                    workers=workers, cache=cache, pool=pool, reduction=reduction,
+                    backend=backend, kernel=kernel, store=store,
+                ),
+            )
+    return _run_check(
+        algorithm, grid, model,
+        max_states=max_states, symmetry_reduction=symmetry_reduction,
+        workers=workers, cache=cache, pool=pool, reduction=reduction,
+        backend=backend, kernel=kernel, store=store,
+    )
+
+
+def _run_check(
+    algorithm: Algorithm,
+    grid: Grid,
+    model: str,
+    *,
+    max_states: int,
+    symmetry_reduction: bool,
+    workers: Optional[int],
+    cache: Optional[MatcherCache],
+    pool: Optional[ExplorationPool],
+    reduction: ReductionSpec,
+    backend: Optional["ExecutionBackend"],
+    kernel: Optional[str],
+    store=None,
+) -> CheckResult:
+    """Compute one exhaustive check (the uncached body of the entry point)."""
     exploration = _explore(
         algorithm,
         grid,
@@ -327,6 +398,7 @@ def check_terminating_exploration(
         pool=pool,
         backend=backend,
         kernel=kernel,
+        store=store,
     )
     terminal_states = len(exploration.terminal_indices())
 

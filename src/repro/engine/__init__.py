@@ -38,6 +38,10 @@ paper are implemented; every other layer consumes it:
 * :mod:`repro.engine.journal` — the durable, resumable campaign verdict
   journal (:class:`CampaignJournal`) and the checkpointed shard-snapshot
   store (:class:`ShardSnapshotStore`) session recovery restores from;
+* :mod:`repro.engine.store` — the persistent content-addressed
+  :class:`VerdictStore`: explorations, check results and campaign
+  reports cached on disk by content hash, with in-flight request
+  coalescing;
 * :mod:`repro.engine.walk` — the lazy single-path simulator;
 * :mod:`repro.engine.suites` — shared grid-size suites;
 * :mod:`repro.engine.campaign` — batched serial/parallel campaign runner.
@@ -103,6 +107,7 @@ from .reduction import (
     transform_state_colors,
 )
 from .sharded import explore_sharded
+from .store import VerdictStore
 from .states import (
     AsyncRobotState,
     FrozenSnapshot,
@@ -209,6 +214,7 @@ __all__ = [
     "FaultPlan",
     "CampaignJournal",
     "ShardSnapshotStore",
+    "VerdictStore",
     "FleetLostError",
     "NoWorkersError",
     "PoisonedItemError",

@@ -39,6 +39,7 @@ from .walk import TieBreak, run_async, run_fsync, run_ssync
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a module cycle)
     from .backend import ExecutionBackend
+    from .store import VerdictStore
 
 __all__ = [
     "VerificationReport",
@@ -52,6 +53,7 @@ __all__ = [
     "stress_test_tasks",
     "exhaustive_check_tasks",
     "derive_seed",
+    "task_store_key",
     "ParallelCampaignEngine",
 ]
 
@@ -98,6 +100,11 @@ class VerificationReport:
     #: collapses, interleavings pruned).  Deterministic, but excluded from
     #: equality like the cache counters — observability, not verdict.
     reduction_stats: Optional[Dict[str, Dict[str, float]]] = field(default=None, compare=False)
+    #: Verdict-store counters observed when this report was served through
+    #: a :class:`~repro.engine.store.VerdictStore` (``None`` when no store
+    #: was involved).  Excluded from equality like the cache counters: a
+    #: cached report must compare equal to a freshly computed one.
+    store_stats: Optional[Dict[str, object]] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         status = "ok" if self.ok else f"FAILED ({self.reason})"
@@ -195,6 +202,7 @@ def verify_one(
     tie_break: str = TieBreak.ERROR,
     max_steps: Optional[int] = None,
     cache: Optional[MatcherCache] = None,
+    store: Optional["VerdictStore"] = None,
 ) -> VerificationReport:
     """Check Definition 1 on one bounded execution.
 
@@ -206,8 +214,33 @@ def verify_one(
     records the normalized value: the seed on a
     :class:`VerificationReport` is always the seed that actually drove the
     run, so re-running with ``seed=report.seed`` replays it exactly.
+
+    ``store`` (a :class:`~repro.engine.store.VerdictStore`) memoizes the
+    report for registered algorithms, keyed by the normalized seed, the
+    tie-break policy and the step budget alongside the grid coordinates —
+    a cached report is the report of *exactly* this run.
     """
     seed = 0 if seed is None else seed
+    if store is not None and registered(algorithm):
+        key = ("task", "walk", algorithm.name, m, n, model, seed, tie_break, max_steps)
+        return store.fetch(
+            key,
+            lambda: _run_verify_one(algorithm, m, n, model, seed, tie_break, max_steps, cache),
+        )
+    return _run_verify_one(algorithm, m, n, model, seed, tie_break, max_steps, cache)
+
+
+def _run_verify_one(
+    algorithm: Algorithm,
+    m: int,
+    n: int,
+    model: str,
+    seed: int,
+    tie_break: str,
+    max_steps: Optional[int],
+    cache: Optional[MatcherCache],
+) -> VerificationReport:
+    """The uncached body of :func:`verify_one` (seed already normalized)."""
     grid = Grid(m, n)
     matcher = cache.matcher_for(algorithm, grid) if cache is not None else None
     stats_before = matcher.stats.snapshot() if matcher is not None else None
@@ -256,6 +289,7 @@ def check_one(
     max_states: int = 200_000,
     cache: Optional[MatcherCache] = None,
     kernel: Optional[str] = None,
+    store: Optional["VerdictStore"] = None,
 ) -> VerificationReport:
     """Exhaustively model-check one ``(algorithm, grid, model)`` triple.
 
@@ -266,7 +300,47 @@ def check_one(
     :class:`VerificationReport` with ``kind="check"``, so exhaustive checks
     ride the same serial/parallel campaign machinery as bounded walks.  A
     tripped state budget (or any other failure) is reported, not raised.
+
+    ``store`` (a :class:`~repro.engine.store.VerdictStore`) memoizes the
+    report for registered algorithms — ``max_states`` is part of the key,
+    so a budget-tripped verdict never masquerades as a full one — and is
+    forwarded to the checker, which caches the underlying
+    :class:`~repro.checking.model_checker.CheckResult` and exploration
+    under their own keys.
     """
+    if store is not None and registered(algorithm):
+        from .packed import normalize_kernel  # local import: layering
+
+        key = (
+            "task",
+            "check",
+            algorithm.name,
+            m,
+            n,
+            model,
+            normalize_reduction(reduction),
+            max_states,
+            normalize_kernel(kernel),
+        )
+        return store.fetch(
+            key,
+            lambda: _run_check_one(algorithm, m, n, model, reduction, max_states, cache, kernel, store),
+        )
+    return _run_check_one(algorithm, m, n, model, reduction, max_states, cache, kernel, store)
+
+
+def _run_check_one(
+    algorithm: Algorithm,
+    m: int,
+    n: int,
+    model: str,
+    reduction: Optional[str],
+    max_states: int,
+    cache: Optional[MatcherCache],
+    kernel: Optional[str],
+    store: Optional["VerdictStore"],
+) -> VerificationReport:
+    """The uncached body of :func:`check_one`."""
     from ..checking.model_checker import (  # local import: avoids a layering cycle
         check_terminating_exploration,
     )
@@ -281,6 +355,7 @@ def check_one(
             reduction=reduction,
             cache=cache,
             kernel=kernel,
+            store=store,
         )
     except Exception as exc:  # noqa: BLE001 - reported, not swallowed
         return VerificationReport(
@@ -388,10 +463,47 @@ def run_task(task: CampaignTask) -> VerificationReport:
     )
 
 
+def task_store_key(task: CampaignTask) -> Tuple[object, ...]:
+    """The verdict-store spec of a task — shared by every execution route.
+
+    :func:`verify_one` / :func:`check_one` build the identical tuples from
+    their arguments, so a report cached by a serial run is a hit for the
+    parallel engine's prefilter (and vice versa).  Normalizations mirror
+    execution: a walk's ``seed=None`` runs as ``0``, a check's reduction
+    and kernel specs resolve through their canonical spellings.
+    """
+    if task.kind == "check":
+        from .packed import normalize_kernel  # local import: layering
+
+        return (
+            "task",
+            "check",
+            task.algorithm,
+            task.m,
+            task.n,
+            task.model,
+            normalize_reduction(task.reduction),
+            task.max_states,
+            normalize_kernel(task.kernel),
+        )
+    return (
+        "task",
+        "walk",
+        task.algorithm,
+        task.m,
+        task.n,
+        task.model,
+        0 if task.seed is None else task.seed,
+        task.tie_break,
+        task.max_steps,
+    )
+
+
 def execute_tasks(
     algorithm: Algorithm,
     tasks: Iterable[CampaignTask],
     cache: Optional[MatcherCache] = None,
+    store: Optional["VerdictStore"] = None,
 ) -> List[VerificationReport]:
     """Run tasks serially against an in-hand algorithm object.
 
@@ -402,6 +514,8 @@ def execute_tasks(
     :class:`MatcherCache` (``cache``, freshly created by default) is
     shared across the whole task list, so every task after the first starts
     warm on the patterns already seen — including at other grid sizes.
+    ``store`` forwards to :func:`verify_one` / :func:`check_one` per task,
+    so repeated task lists are served from the verdict store.
     """
     cache = cache if cache is not None else MatcherCache()
     reports = []
@@ -417,6 +531,7 @@ def execute_tasks(
                     max_states=task.max_states,
                     cache=cache,
                     kernel=task.kernel,
+                    store=store,
                 )
             )
         else:
@@ -430,6 +545,7 @@ def execute_tasks(
                     tie_break=task.tie_break,
                     max_steps=task.max_steps,
                     cache=cache,
+                    store=store,
                 )
             )
     return reports
@@ -548,6 +664,7 @@ class ParallelCampaignEngine:
         chunksize: int = 4,
         pool: Optional[ExplorationPool] = None,
         backend: Optional["ExecutionBackend"] = None,
+        store: Optional["VerdictStore"] = None,
     ) -> None:
         if workers is None and backend is None:
             workers = pool.workers if pool is not None else default_workers()
@@ -559,6 +676,12 @@ class ParallelCampaignEngine:
         self.chunksize = max(1, chunksize)
         self.pool = pool
         self.backend = backend
+        #: A :class:`~repro.engine.store.VerdictStore` consulted *before*
+        #: dispatch: tasks whose reports are already stored never reach the
+        #: pool/backend at all, and fresh reports are recorded on the way
+        #: back.  The store lives on the coordinator (it holds locks and
+        #: file handles, so it never crosses a process boundary).
+        self.store = store
 
     @property
     def workers(self) -> int:
@@ -581,6 +704,7 @@ class ParallelCampaignEngine:
         *,
         journal=None,
         resume: bool = True,
+        store: Optional["VerdictStore"] = None,
     ) -> List[VerificationReport]:
         """Execute ``tasks`` in task order, optionally journalled.
 
@@ -595,8 +719,45 @@ class ParallelCampaignEngine:
         task).  ``resume=False`` truncates a path-opened journal first.
         A journal opened here is closed here; a passed-in instance stays
         open (the caller owns its lifecycle).
+
+        ``store`` (defaulting to the engine's own) prefilters the list
+        against the verdict store: stored reports are returned directly
+        (annotated with ``store_stats``), only the remainder is dispatched,
+        and every fresh report is recorded before the call returns —
+        except poisoned ones, whose outcome is fault-injected rather than
+        a function of the task.
         """
         tasks = list(tasks)
+        store = self.store if store is None else store
+        if store is not None and registered(algorithm):
+            from .store import HIT, MISS  # local import: keeps the store optional
+
+            keys = [task_store_key(task) for task in tasks]
+            results: List[Optional[VerificationReport]] = []
+            for key in keys:
+                cached = store.get(key)
+                results.append(store.annotate(cached, HIT) if cached is not None else None)
+            pending = [index for index, report in enumerate(results) if report is None]
+            if pending:
+                fresh = self._run_tasks(
+                    algorithm, [tasks[index] for index in pending], journal=journal, resume=resume
+                )
+                for index, report in zip(pending, fresh):
+                    if not report.reason.startswith("poison task: "):
+                        store.put(keys[index], report)
+                    results[index] = store.annotate(report, MISS)
+            return results  # type: ignore[return-value]
+        return self._run_tasks(algorithm, tasks, journal=journal, resume=resume)
+
+    def _run_tasks(
+        self,
+        algorithm: Algorithm,
+        tasks: List[CampaignTask],
+        *,
+        journal,
+        resume: bool,
+    ) -> List[VerificationReport]:
+        """Dispatch (store already consulted), optionally journalled."""
         if journal is None:
             return self._dispatch(algorithm, tasks)
         from .journal import CampaignJournal  # local import: keeps import cheap

@@ -90,6 +90,12 @@ class Exploration:
     #: observability, not a result: excluded from equality (the session
     #: route's graph is byte-identical to the serial one regardless).
     wire_stats: Optional[Dict[str, int]] = field(default=None, compare=False)
+    #: Verdict-store counters when the exploration was requested through a
+    #: :class:`~repro.engine.store.VerdictStore` — ``{"hits", "misses",
+    #: "coalesced", "outcome"}``.  Cache observability, not a result:
+    #: excluded from equality (a cached exploration is byte-identical to
+    #: a freshly computed one).
+    store_stats: Optional[Dict[str, object]] = field(default=None, compare=False)
 
     @property
     def num_states(self) -> int:
@@ -112,6 +118,7 @@ def explore(
     max_states: int = 200_000,
     start: Optional[SchedulerState] = None,
     kernel: Optional[str] = None,
+    store: Optional[object] = None,
 ) -> Exploration:
     """Build the (optionally reduced) reachable successor graph.
 
@@ -129,10 +136,30 @@ def explore(
     (``explore_packed``); quotient specs run this loop with the packed
     system's table-driven ``successors``.
 
+    ``store`` — a :class:`~repro.engine.store.VerdictStore` — serves the
+    exploration from the verdict cache (or records a miss) under the same
+    content key the sharded/pooled routes use, so all routes share
+    entries.  Only registered algorithms on the stock kernels, from the
+    default initial state, are cacheable; anything else computes as if no
+    store were given.
+
     Raises :class:`~repro.core.errors.StateSpaceLimitExceeded` — with the
     exploration context attached — as soon as more than ``max_states``
     distinct states have been discovered.
     """
+    if store is not None and start is None:
+        cache_key = _store_key(ts, reduction, symmetry_reduction, kernel, max_states)
+        if cache_key is not None:
+            return store.fetch(
+                cache_key,
+                lambda: explore(
+                    ts,
+                    reduction=reduction,
+                    symmetry_reduction=symmetry_reduction,
+                    max_states=max_states,
+                    kernel=kernel,
+                ),
+            )
     if kernel is not None:
         # Local import: packed imports this module at load time.
         from .packed import PackedTransitionSystem, normalize_kernel
@@ -230,6 +257,49 @@ def explore(
         reduction=pipeline.active_spec,
         reduction_stats=pipeline.stats_report(pipeline.counters_delta(counters_before)),
         profile=profile.as_dict() if profile is not None else None,
+    )
+
+
+def _store_key(
+    ts: TransitionSystem,
+    reduction: ReductionSpec,
+    symmetry_reduction: bool,
+    kernel: Optional[str],
+    max_states: int,
+):
+    """The shared explore-route content key, or ``None`` when uncacheable.
+
+    Exactly the key ``explore_sharded`` derives — ``("explore",)`` +
+    ``ExploreKey`` + budget — so the serial and sharded routes address the
+    same store entries.  Custom transition systems (anything other than
+    the two stock kernels) and unregistered algorithms carry semantics the
+    key cannot see and are never cached.
+    """
+    # Local imports: packed/pool import this module at load time.
+    from .packed import PackedTransitionSystem, normalize_kernel
+    from .pool import registered
+    from .reduction import normalize_reduction
+    from .transition import AlgorithmTransitionSystem
+
+    if type(ts) is PackedTransitionSystem:
+        implied = "packed"
+    elif type(ts) is AlgorithmTransitionSystem:
+        implied = "object"
+    else:
+        return None
+    if not registered(ts.algorithm):
+        return None
+    spec = normalize_reduction(reduction, symmetry_reduction)
+    knorm = normalize_kernel(kernel) if kernel is not None else implied
+    return (
+        "explore",
+        ts.algorithm.name,
+        ts.grid.m,
+        ts.grid.n,
+        ts.model,
+        spec,
+        knorm,
+        max_states,
     )
 
 

@@ -52,10 +52,60 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a module cycle)
     from .faults import FaultPlan
 
-__all__ = ["CampaignJournal", "ShardSnapshotStore"]
+__all__ = [
+    "CampaignJournal",
+    "ShardSnapshotStore",
+    "RECORD_HEADER",
+    "content_key",
+    "iter_records",
+    "pack_record",
+]
 
 #: Record header: 4-byte big-endian body length + 4-byte CRC32 of the body.
-_RECORD_HEADER = struct.Struct("!II")
+RECORD_HEADER = struct.Struct("!II")
+_RECORD_HEADER = RECORD_HEADER  # backward-compatible private alias
+
+
+def content_key(spec: object) -> str:
+    """A stable content hash of a work-item spec.
+
+    SHA-256 over ``repr(spec)`` — dataclass reprs
+    (:class:`~repro.engine.campaign.CampaignTask`) and primitive tuples
+    (``ExploreKey``) are both deterministic functions of their field
+    values, so equal specs key identically across processes and runs.
+    Shared by :class:`CampaignJournal` and the verdict store
+    (:mod:`repro.engine.store`), so a spec addresses the same record in
+    both.
+    """
+    return hashlib.sha256(repr(spec).encode("utf-8")).hexdigest()
+
+
+def pack_record(key: str, value: object) -> bytes:
+    """One self-delimiting ``(length, crc32, pickle((key, value)))`` record."""
+    body = pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
+    return RECORD_HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def iter_records(data: bytes) -> Iterator[Tuple[str, object, int]]:
+    """Yield ``(key, value, end_offset)`` until the first bad record.
+
+    A short header, a short body, a CRC mismatch or an undecodable pickle
+    all terminate iteration — everything from that point on is a torn or
+    corrupt tail the caller should truncate away.
+    """
+    offset = 0
+    header = RECORD_HEADER.size
+    while offset + header <= len(data):
+        length, crc = RECORD_HEADER.unpack_from(data, offset)
+        body = data[offset + header : offset + header + length]
+        if len(body) < length or zlib.crc32(body) != crc:
+            return  # torn or corrupt tail: everything after is dropped
+        try:
+            key, value = pickle.loads(body)
+        except Exception:  # noqa: BLE001 - undecodable == corrupt
+            return
+        offset += header + length
+        yield key, value, offset
 
 
 class CampaignJournal:
@@ -108,31 +158,10 @@ class CampaignJournal:
     @staticmethod
     def _records(data: bytes) -> Iterator[Tuple[str, object, int]]:
         """Yield ``(key, value, end_offset)`` until the first bad record."""
-        offset = 0
-        header = _RECORD_HEADER.size
-        while offset + header <= len(data):
-            length, crc = _RECORD_HEADER.unpack_from(data, offset)
-            body = data[offset + header : offset + header + length]
-            if len(body) < length or zlib.crc32(body) != crc:
-                return  # torn or corrupt tail: everything after is dropped
-            try:
-                key, value = pickle.loads(body)
-            except Exception:  # noqa: BLE001 - undecodable == corrupt
-                return
-            offset += header + length
-            yield key, value, offset
+        return iter_records(data)
 
     # -- keys ------------------------------------------------------------
-    @staticmethod
-    def task_key(spec: object) -> str:
-        """A stable content hash of a work-item spec.
-
-        SHA-256 over ``repr(spec)`` — dataclass reprs
-        (:class:`~repro.engine.campaign.CampaignTask`) and primitive tuples
-        (``ExploreKey``) are both deterministic functions of their field
-        values, so equal specs key identically across processes and runs.
-        """
-        return hashlib.sha256(repr(spec).encode("utf-8")).hexdigest()
+    task_key = staticmethod(content_key)
 
     # -- store -----------------------------------------------------------
     def __len__(self) -> int:
@@ -155,9 +184,7 @@ class CampaignJournal:
         """
         if self._file.closed:
             raise RuntimeError("CampaignJournal is closed")
-        body = pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
-        self._file.write(_RECORD_HEADER.pack(len(body), zlib.crc32(body)))
-        self._file.write(body)
+        self._file.write(pack_record(key, value))
         self._file.flush()
         os.fsync(self._file.fileno())
         self._entries[key] = value

@@ -51,16 +51,19 @@ class MatcherStats:
     """Hit/miss counters for the matcher's memo tables.
 
     A *hit* is any snapshot/match/action lookup served from a memo table; a
-    *miss* is a lookup that had to run the underlying guard evaluation.  The
+    *miss* is a lookup that had to run the underlying guard evaluation.
+    ``evictions`` counts memo entries dropped by a bounded
+    :class:`MatcherCache` enforcing its ``max_entries`` cap.  The
     counters are cumulative over the lifetime of the object, which may span
     many matchers when the stats belong to a shared :class:`MatcherCache`.
     """
 
-    __slots__ = ("hits", "misses")
+    __slots__ = ("hits", "misses", "evictions")
 
-    def __init__(self, hits: int = 0, misses: int = 0) -> None:
+    def __init__(self, hits: int = 0, misses: int = 0, evictions: int = 0) -> None:
         self.hits = hits
         self.misses = misses
+        self.evictions = evictions
 
     @property
     def lookups(self) -> int:
@@ -76,20 +79,29 @@ class MatcherStats:
         """Accumulate another counter pair into this one (returns self)."""
         self.hits += other.hits
         self.misses += other.misses
+        self.evictions += other.evictions
         return self
 
     def delta_since(self, snapshot: "MatcherStats") -> "MatcherStats":
         """The counters accumulated since ``snapshot`` was taken."""
-        return MatcherStats(self.hits - snapshot.hits, self.misses - snapshot.misses)
+        return MatcherStats(
+            self.hits - snapshot.hits,
+            self.misses - snapshot.misses,
+            self.evictions - snapshot.evictions,
+        )
 
     def snapshot(self) -> "MatcherStats":
-        return MatcherStats(self.hits, self.misses)
+        return MatcherStats(self.hits, self.misses, self.evictions)
 
     def as_dict(self) -> Dict[str, float]:
+        # ``evictions`` deliberately stays off the dict: the dict rides on
+        # results whose equality the routes must preserve, and eviction
+        # counts depend on how full a particular route's cache happened to
+        # run.  Read them from :attr:`MatcherCache.stats` instead.
         return {"hits": self.hits, "misses": self.misses, "hit_rate": self.hit_rate}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"MatcherStats(hits={self.hits}, misses={self.misses})"
+        return f"MatcherStats(hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
 
 
 class LocalMatcher:
@@ -311,9 +323,23 @@ class MatcherCache:
     entries.  The cache is designed for reuse within one process; the
     sharded explorer and the parallel campaign engine keep one per worker
     process instead of shipping it across the boundary.
+
+    ``max_entries`` bounds the total memo entries across all algorithms
+    and table layers.  The bound is enforced at :meth:`matcher_for` time
+    (matchers append to the shared tables without telling the cache, so a
+    burst within one exploration can overshoot until the next handout):
+    oldest-inserted entries go first — dict order approximates LRU well
+    here because long-running workloads re-insert nothing and the oldest
+    patterns belong to the coldest grids — and every evicted entry counts
+    on the owning algorithm's ``stats.evictions``.  The default cap is
+    high: a process-lifetime campaign cache stays bounded without any
+    realistic workload ever touching it.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int = 1_000_000) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
         self._tables: Dict[int, Tuple[dict, dict, dict, dict]] = {}
         self._keepalive: Dict[int, Algorithm] = {}
         self._stats: Dict[int, MatcherStats] = {}
@@ -333,7 +359,23 @@ class MatcherCache:
         if tables is None:
             tables = ({}, {}, {}, {})
             self._tables[key] = tables
+        self._trim()
         return LocalMatcher(algorithm, grid, tables=tables, stats=self._stats[key])
+
+    def _trim(self) -> None:
+        """Evict oldest-inserted entries until the cache fits its bound."""
+        excess = self.entry_count() - self.max_entries
+        if excess <= 0:
+            return
+        for key, tables in self._tables.items():
+            stats = self._stats[key]
+            for table in tables:
+                while excess > 0 and table:
+                    del table[next(iter(table))]
+                    stats.evictions += 1
+                    excess -= 1
+            if excess <= 0:
+                break
 
     def stats_for(self, algorithm: Algorithm) -> MatcherStats:
         """The live counters for one algorithm.

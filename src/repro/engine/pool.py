@@ -478,6 +478,7 @@ class ExplorationPool:
         max_states: int = 200_000,
         start: Optional[SchedulerState] = None,
         kernel: Optional[str] = None,
+        store=None,
     ) -> Exploration:
         """Explore with adaptive routing; identical to the serial explorer.
 
@@ -501,6 +502,10 @@ class ExplorationPool:
         serially, the routing threshold is scaled by
         :data:`PACKED_SERIAL_FACTOR` when it is selected — larger workloads
         stay on the (much faster) serial wave BFS before sharding pays.
+
+        ``store`` — a :class:`~repro.engine.store.VerdictStore` — is
+        forwarded to ``explore_sharded`` on both routes, so either is
+        served from (and records into) the shared verdict cache.
         """
         if model not in MODELS:
             raise ValueError(f"unknown model {model!r}")
@@ -533,6 +538,7 @@ class ExplorationPool:
                 start=start,
                 cache=self.cache,
                 kernel=knorm,
+                store=store,
             )
         return explore_sharded(
             algorithm,
@@ -544,4 +550,5 @@ class ExplorationPool:
             start=start,
             pool=self,
             kernel=knorm,
+            store=store,
         )

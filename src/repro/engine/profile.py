@@ -19,7 +19,10 @@ The phases are the four stages every explorer iterates:
 * **inflate** — converting packed codes back to
   :class:`~repro.engine.states.SchedulerState` objects at the
   ``Exploration`` boundary (zero for the object kernel, which never
-  leaves object representation).
+  leaves object representation);
+* **store** — verdict-store lookup and deserialization time
+  (:mod:`repro.engine.store`): zero when no ``store=`` is threaded
+  through, the full cost of the hit when one answers.
 
 Profiling is strictly opt-in because the per-successor clock reads cost
 real time on the hot path; when the variable is unset the explorers skip
@@ -46,7 +49,7 @@ def profiling_enabled() -> bool:
 class KernelProfile:
     """Accumulates the per-phase wall-clock split of one exploration."""
 
-    __slots__ = ("kernel", "match_s", "canonicalise_s", "dedup_s", "inflate_s")
+    __slots__ = ("kernel", "match_s", "canonicalise_s", "dedup_s", "inflate_s", "store_s")
 
     def __init__(self, kernel: str) -> None:
         self.kernel = kernel
@@ -54,6 +57,7 @@ class KernelProfile:
         self.canonicalise_s = 0.0
         self.dedup_s = 0.0
         self.inflate_s = 0.0
+        self.store_s = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         """The picklable report attached to ``Exploration.profile``."""
@@ -63,5 +67,7 @@ class KernelProfile:
             "canonicalise_s": self.canonicalise_s,
             "dedup_s": self.dedup_s,
             "inflate_s": self.inflate_s,
-            "total_s": self.match_s + self.canonicalise_s + self.dedup_s + self.inflate_s,
+            "store_s": self.store_s,
+            "total_s": self.match_s + self.canonicalise_s + self.dedup_s
+            + self.inflate_s + self.store_s,
         }

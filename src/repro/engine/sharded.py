@@ -70,6 +70,7 @@ from .transition import MODELS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a module cycle)
     from .backend import ExecutionBackend, ShardSession
+    from .store import VerdictStore
 
 __all__ = ["explore_sharded", "default_workers"]
 
@@ -92,6 +93,7 @@ def explore_sharded(
     pool: Optional[ExplorationPool] = None,
     backend: Optional["ExecutionBackend"] = None,
     kernel: Optional[str] = None,
+    store: Optional["VerdictStore"] = None,
 ) -> Exploration:
     """Build the reachable successor graph with a sharded process pool.
 
@@ -133,12 +135,55 @@ def explore_sharded(
     the fallback runs on ``cache`` — or, absent that, the pool's
     coordinator cache — so a caller-supplied cache is honoured on every
     route.
+
+    ``store`` — a :class:`~repro.engine.store.VerdictStore` — serves the
+    whole exploration from the verdict cache when its content key
+    (``("explore",) + ExploreKey + (max_states,)`` — budget included, so a
+    partial run can never answer for a full one) has been computed before,
+    on *any* route; a miss computes through the routing below and records
+    the result.  Duplicate concurrent requests for one key coalesce onto a
+    single computation.  Cached explorations are byte-identical to
+    computed ones (``store_stats``/``matcher_stats`` excepted — cache
+    observability and warmth).  Explorations from a custom ``start`` state
+    or of an unregistered algorithm bypass the store.
     """
     if model not in MODELS:
         raise ValueError(f"unknown model {model!r}")
     spec = normalize_reduction(reduction, symmetry_reduction)
     knorm = normalize_kernel(kernel)
     key: ExploreKey = (algorithm.name, grid.m, grid.n, model, spec, knorm)
+    if store is not None and start is None and registered(algorithm):
+        return store.fetch(
+            ("explore",) + key + (max_states,),
+            lambda: _route_exploration(
+                algorithm, grid, model, key, spec, knorm,
+                workers=workers, max_states=max_states, start=start,
+                cache=cache, pool=pool, backend=backend,
+            ),
+        )
+    return _route_exploration(
+        algorithm, grid, model, key, spec, knorm,
+        workers=workers, max_states=max_states, start=start,
+        cache=cache, pool=pool, backend=backend,
+    )
+
+
+def _route_exploration(
+    algorithm: Algorithm,
+    grid: Grid,
+    model: str,
+    key: ExploreKey,
+    spec: str,
+    knorm: str,
+    *,
+    workers: Optional[int],
+    max_states: int,
+    start: Optional[SchedulerState],
+    cache: Optional[MatcherCache],
+    pool: Optional[ExplorationPool],
+    backend: Optional["ExecutionBackend"],
+) -> Exploration:
+    """Pick the execution route (session / backend / pool / serial / ephemeral)."""
     if backend is not None and registered(algorithm):
         # Prefer the stateful session route when the backend offers one
         # (today the TCP DistributedBackend): shard frontiers stay

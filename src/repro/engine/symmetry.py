@@ -100,6 +100,17 @@ class GridSymmetry:
                 return self._inverse
         raise AssertionError(f"no inverse for {self.name}")  # pragma: no cover
 
+    def __eq__(self, other: object) -> bool:
+        # Value equality on the defining triple: a GridSymmetry is a pure
+        # function of (symmetry, m, n), and edge witnesses must compare
+        # equal after a pickle round-trip through the verdict store.
+        if not isinstance(other, GridSymmetry):
+            return NotImplemented
+        return (self.symmetry, self.m, self.n) == (other.symmetry, other.m, other.n)
+
+    def __hash__(self) -> int:
+        return hash((self.symmetry, self.m, self.n))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"GridSymmetry({self.name}, {self.m}x{self.n})"
 

@@ -46,6 +46,7 @@ from ..engine.suites import default_grid_suite
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.backend import ExecutionBackend
+    from ..engine.store import VerdictStore
 
 __all__ = [
     "VerificationReport",
@@ -80,6 +81,7 @@ def _run_campaign(
     backend: Optional["ExecutionBackend"] = None,
     journal=None,
     resume: bool = True,
+    store: Optional["VerdictStore"] = None,
 ) -> GridSweepReport:
     """Run a task list serially, on a persistent pool, or on a backend.
 
@@ -98,12 +100,20 @@ def _run_campaign(
     resumable: completed verdicts are fsynced as they land and replayed
     instead of re-executed on the next run, with reports identical to an
     uninterrupted campaign's.
+
+    ``store`` (a :class:`~repro.engine.store.VerdictStore`) memoizes every
+    report by task content — across campaigns, processes and runs of the
+    program.  Stored verdicts short-circuit dispatch entirely (they never
+    reach the pool/backend), fresh ones are recorded before the campaign
+    returns, and reports served from the store compare equal to freshly
+    computed ones on every route.
     """
-    if backend is not None or pool is not None or journal is not None:
+    if backend is not None or pool is not None or journal is not None or store is not None:
         engine = ParallelCampaignEngine(
             workers=None if (backend is not None or pool is not None) else 1,
             pool=pool,
             backend=backend,
+            store=store,
         )
         return GridSweepReport(
             algorithm=algorithm.name,
@@ -122,10 +132,11 @@ def grid_sweep(
     backend: Optional["ExecutionBackend"] = None,
     journal=None,
     resume: bool = True,
+    store: Optional["VerdictStore"] = None,
 ) -> GridSweepReport:
     """Verify terminating exploration over a family of grid sizes."""
     tasks = grid_sweep_tasks(algorithm, sizes=sizes, model=model, seed=seed, tie_break=tie_break)
-    return _run_campaign(algorithm, tasks, pool, backend, journal=journal, resume=resume)
+    return _run_campaign(algorithm, tasks, pool, backend, journal=journal, resume=resume, store=store)
 
 
 def stress_test(
@@ -138,10 +149,11 @@ def stress_test(
     backend: Optional["ExecutionBackend"] = None,
     journal=None,
     resume: bool = True,
+    store: Optional["VerdictStore"] = None,
 ) -> GridSweepReport:
     """Randomized-scheduler campaign for the SSYNC/ASYNC algorithms."""
     tasks = stress_test_tasks(algorithm, sizes=sizes, models=models, seeds=seeds, tie_break=tie_break)
-    return _run_campaign(algorithm, tasks, pool, backend, journal=journal, resume=resume)
+    return _run_campaign(algorithm, tasks, pool, backend, journal=journal, resume=resume, store=store)
 
 
 def exhaustive_sweep(
@@ -155,6 +167,7 @@ def exhaustive_sweep(
     kernel: str = "object",
     journal=None,
     resume: bool = True,
+    store: Optional["VerdictStore"] = None,
 ) -> GridSweepReport:
     """Exhaustive model checks over a family of (small) grid sizes.
 
@@ -171,7 +184,7 @@ def exhaustive_sweep(
         algorithm, sizes=sizes, model=model, reduction=reduction,
         max_states=max_states, kernel=kernel,
     )
-    return _run_campaign(algorithm, tasks, pool, backend, journal=journal, resume=resume)
+    return _run_campaign(algorithm, tasks, pool, backend, journal=journal, resume=resume, store=store)
 
 
 def verify_algorithm(
@@ -182,6 +195,7 @@ def verify_algorithm(
     backend: Optional["ExecutionBackend"] = None,
     journal=None,
     resume: bool = True,
+    store: Optional["VerdictStore"] = None,
 ) -> GridSweepReport:
     """The full campaign appropriate for an algorithm's claimed model.
 
@@ -199,12 +213,12 @@ def verify_algorithm(
     try:
         report = grid_sweep(
             algorithm, sizes=sizes, model="FSYNC", pool=pool, backend=backend,
-            journal=jnl, resume=resume,
+            journal=jnl, resume=resume, store=store,
         )
         if algorithm.synchrony == "ASYNC":
             stress = stress_test(
                 algorithm, sizes=sizes, seeds=seeds, pool=pool, backend=backend,
-                journal=jnl, resume=resume,
+                journal=jnl, resume=resume, store=store,
             )
             report.reports.extend(stress.reports)
     finally:

@@ -321,7 +321,7 @@ class TestNumpyWavePath:
 # Profiling hook
 # ---------------------------------------------------------------------------
 class TestProfileHook:
-    PROFILE_KEYS = {"kernel", "match_s", "canonicalise_s", "dedup_s", "inflate_s", "total_s"}
+    PROFILE_KEYS = {"kernel", "match_s", "canonicalise_s", "dedup_s", "inflate_s", "store_s", "total_s"}
 
     def test_off_by_default(self, monkeypatch):
         monkeypatch.delenv(PROFILE_ENV, raising=False)

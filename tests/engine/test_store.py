@@ -1,0 +1,524 @@
+"""The persistent content-addressed verdict store.
+
+Four promises under test:
+
+1. **Crash safety** — segments reuse the journal record format, so a
+   writer killed mid-append leaves at worst a torn tail that the next
+   open truncates away; a corrupt record ends its segment's replay
+   without losing the records before it.
+2. **Coalescing** — duplicate concurrent requests for one key trigger
+   exactly one computation; the duplicates share the leader's result
+   (or exception) and count on the ``coalesced`` counter.
+3. **Parity** — a verdict served from the store compares equal to a
+   freshly computed one, on every route (serial, pooled, distributed),
+   across the shared reduction-parity suite.
+4. **Bounds** — the in-memory index is LRU-bounded, and on-disk bloat
+   triggers compaction that preserves the live entries.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import threading
+import zlib
+from dataclasses import replace
+
+import pytest
+
+from repro.algorithms import get
+from repro.core import Grid
+from repro.engine import VerdictStore, explore_sharded
+from repro.engine.campaign import (
+    ParallelCampaignEngine,
+    exhaustive_check_tasks,
+    grid_sweep_tasks,
+    task_store_key,
+    verify_one,
+)
+from repro.engine.journal import RECORD_HEADER, pack_record
+from repro.engine.matcher import MatcherCache
+from repro.engine.pool import ExplorationPool
+from repro.engine.store import COALESCED, HIT, MISS
+from repro.engine.suites import reduction_parity_suite
+from repro.checking import check_terminating_exploration
+
+ALGORITHM = "fsync_phi2_l2_chir_k2"
+
+
+def scrubbed(exploration):
+    """An exploration with every observability-only field cleared.
+
+    ``matcher_stats`` participates in equality (warmth is deterministic
+    per route) but differs between a cold run and a cache-served copy of
+    an earlier run, so parity tests compare the verdict-bearing rest.
+    """
+    return replace(exploration, matcher_stats=None, store_stats=None, wire_stats=None)
+
+
+# ---------------------------------------------------------------------------
+# Record format and crash safety
+# ---------------------------------------------------------------------------
+class TestDurability:
+    def test_roundtrip_across_reopen(self, tmp_path):
+        path = tmp_path / "store"
+        with VerdictStore(path) as store:
+            store.put(("spec", 1), {"verdict": "a"})
+            store.put(("spec", 2), {"verdict": "b"})
+        with VerdictStore(path) as reopened:
+            assert len(reopened) == 2
+            assert reopened.get(("spec", 1)) == {"verdict": "a"}
+            assert reopened.get(("spec", 2)) == {"verdict": "b"}
+
+    def test_last_write_wins_on_duplicate_keys(self, tmp_path):
+        path = tmp_path / "store"
+        with VerdictStore(path) as store:
+            store.put("key", "stale")
+            store.put("key", "fresh")
+        with VerdictStore(path) as reopened:
+            assert reopened.get("key") == "fresh"
+
+    def test_torn_tail_truncated_on_reopen(self, tmp_path):
+        path = tmp_path / "store"
+        with VerdictStore(path) as store:
+            store.put("key-1", "value-1")
+            store.put("key-2", "value-2")
+            segment = store._segments()[-1]
+        # A writer killed mid-append leaves a partial record: a full
+        # header promising more body bytes than were ever written.
+        intact = segment.read_bytes()
+        with open(segment, "ab") as handle:
+            handle.write(RECORD_HEADER.pack(1 << 20, 0) + b"partial body")
+        with VerdictStore(path) as recovered:
+            assert recovered.recovered_bytes == RECORD_HEADER.size + len(b"partial body")
+            assert recovered.get("key-1") == "value-1"
+            assert recovered.get("key-2") == "value-2"
+            assert segment.read_bytes() == intact  # tail gone, records kept
+
+    def test_crc_mismatch_ends_segment_replay(self, tmp_path):
+        path = tmp_path / "store"
+        with VerdictStore(path) as store:
+            store.put("key-1", "value-1")
+            store.put("key-2", "value-2")
+            store.put("key-3", "value-3")
+            segment = store._segments()[-1]
+        data = bytearray(segment.read_bytes())
+        # Corrupt one byte inside the *second* record's body.
+        (length_1,) = struct.unpack_from("!I", data, 0)
+        offset = RECORD_HEADER.size + length_1 + RECORD_HEADER.size + 2
+        data[offset] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        with VerdictStore(path) as recovered:
+            assert recovered.get("key-1") == "value-1"  # before the corruption
+            assert recovered.get("key-2") is None  # the corrupt record
+            assert recovered.get("key-3") is None  # ... and everything after
+            assert recovered.recovered_bytes > 0
+
+    def test_kill_mid_append_then_reopen_and_continue(self, tmp_path):
+        """A simulated kill -9 mid-append: reopen, recover, keep writing."""
+        path = tmp_path / "store"
+        store = VerdictStore(path)
+        store.put("survivor", "ok")
+        # Die mid-write: half a record hits the active segment and the
+        # process never comes back to finish or close it.
+        record = pack_record("casualty", "lost")
+        store._file.write(record[: len(record) // 2])
+        store._file.flush()
+        del store  # never closed — the handle just goes away
+
+        with VerdictStore(path) as recovered:
+            assert recovered.recovered_bytes == len(record) // 2
+            assert recovered.get("survivor") == "ok"
+            assert recovered.get("casualty") is None
+            recovered.put("casualty", "rewritten")  # appends still work
+        with VerdictStore(path) as again:
+            assert again.get("casualty") == "rewritten"
+
+    def test_in_memory_store_needs_no_disk(self):
+        store = VerdictStore()
+        store.put("key", "value")
+        assert store.get("key") == "value"
+        assert store.stats["disk_records"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Bounds: LRU index and segment compaction
+# ---------------------------------------------------------------------------
+class TestBounds:
+    def test_lru_eviction_counts_and_bounds_the_index(self):
+        store = VerdictStore(max_entries=3)
+        for i in range(5):
+            store.put(("spec", i), i)
+        assert len(store) == 3
+        assert store.evictions == 2
+        assert store.get(("spec", 0)) is None  # oldest went first
+        assert store.get(("spec", 4)) == 4
+
+    def test_hits_refresh_recency(self):
+        store = VerdictStore(max_entries=2)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.get("a") == 1  # touch: "b" is now the LRU entry
+        store.put("c", 3)
+        assert store.get("a") == 1
+        assert store.get("b") is None
+
+    def test_compaction_drops_stale_records_and_keeps_live_ones(self, tmp_path):
+        path = tmp_path / "store"
+        with VerdictStore(path, max_entries=4, segment_records=4) as store:
+            # Rewrite the same four keys many times: disk bloats with
+            # stale duplicates until compaction rewrites the live index.
+            for round_ in range(8):
+                for i in range(4):
+                    store.put(("spec", i), (round_, i))
+            assert store.compactions > 0
+            assert store.stats["disk_records"] <= max(
+                store.compact_factor * len(store), store.segment_records
+            ) + len(store)
+        with VerdictStore(path) as reopened:
+            assert {reopened.get(("spec", i)) for i in range(4)} == {(7, i) for i in range(4)}
+
+
+# ---------------------------------------------------------------------------
+# Coalescing
+# ---------------------------------------------------------------------------
+class TestCoalescing:
+    def test_duplicate_concurrent_requests_compute_once(self):
+        store = VerdictStore()
+        started, release = threading.Event(), threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            started.set()
+            assert release.wait(timeout=30)
+            return "verdict"
+
+        outcomes = {}
+
+        def request(slot):
+            outcomes[slot] = store.get_or_compute("key", compute)
+
+        leader = threading.Thread(target=request, args=("leader",))
+        leader.start()
+        assert started.wait(timeout=30)
+        follower = threading.Thread(target=request, args=("follower",))
+        follower.start()
+        # The follower registers as a waiter (counting ``coalesced``)
+        # before it blocks; only then is the leader released.
+        for _ in range(10_000):
+            if store.coalesced:
+                break
+            threading.Event().wait(0.001)
+        assert store.coalesced == 1
+        release.set()
+        leader.join(timeout=30)
+        follower.join(timeout=30)
+        assert len(calls) == 1
+        assert outcomes["leader"] == ("verdict", MISS)
+        assert outcomes["follower"] == ("verdict", COALESCED)
+        assert store.get_or_compute("key", compute) == ("verdict", HIT)
+        assert len(calls) == 1
+
+    def test_leader_exception_propagates_and_caches_nothing(self):
+        store = VerdictStore()
+        started, release = threading.Event(), threading.Event()
+
+        def explode():
+            started.set()
+            assert release.wait(timeout=30)
+            raise RuntimeError("exploration failed")
+
+        errors = []
+
+        def request():
+            try:
+                store.get_or_compute("key", explode)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=request) for _ in range(2)]
+        threads[0].start()
+        assert started.wait(timeout=30)
+        threads[1].start()
+        for _ in range(10_000):
+            if store.coalesced:
+                break
+            threading.Event().wait(0.001)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == ["exploration failed"] * 2
+        assert "key" not in store  # failures are never recorded
+        assert store.get_or_compute("key", lambda: "retried") == ("retried", MISS)
+
+    def test_concurrent_explorations_coalesce_to_one(self, monkeypatch):
+        """Two racing ``explore_sharded(store=...)`` calls, one exploration."""
+        from repro.engine import sharded as sharded_module
+
+        routed = sharded_module._route_exploration
+        started, release = threading.Event(), threading.Event()
+        calls = []
+
+        def gated_route(*args, **kwargs):
+            calls.append(1)
+            started.set()
+            assert release.wait(timeout=60)
+            return routed(*args, **kwargs)
+
+        monkeypatch.setattr(sharded_module, "_route_exploration", gated_route)
+        store = VerdictStore()
+        algorithm, grid = get(ALGORITHM), Grid(3, 3)
+        results = {}
+
+        def request(slot):
+            results[slot] = explore_sharded(algorithm, grid, "FSYNC", reduction="grid", store=store)
+
+        leader = threading.Thread(target=request, args=("leader",))
+        leader.start()
+        assert started.wait(timeout=60)
+        follower = threading.Thread(target=request, args=("follower",))
+        follower.start()
+        for _ in range(60_000):
+            if store.coalesced:
+                break
+            threading.Event().wait(0.001)
+        assert store.coalesced >= 1
+        release.set()
+        leader.join(timeout=60)
+        follower.join(timeout=60)
+        assert len(calls) == 1  # exactly one exploration ran
+        assert scrubbed(results["leader"]) == scrubbed(results["follower"])
+        outcomes = {results[slot].store_stats["outcome"] for slot in results}
+        assert outcomes == {MISS, COALESCED}
+
+
+# ---------------------------------------------------------------------------
+# Cached-vs-computed parity
+# ---------------------------------------------------------------------------
+class TestParity:
+    def test_exploration_parity_across_the_reduction_suite_serial(self):
+        store = VerdictStore()
+        for name, m, n, model in reduction_parity_suite():
+            algorithm, grid = get(name), Grid(m, n)
+            fresh = explore_sharded(algorithm, grid, model, reduction="grid", workers=1)
+            recorded = explore_sharded(
+                algorithm, grid, model, reduction="grid", workers=1, store=store
+            )
+            cached = explore_sharded(
+                algorithm, grid, model, reduction="grid", workers=1, store=store
+            )
+            assert recorded.store_stats["outcome"] == MISS
+            assert cached.store_stats["outcome"] == HIT
+            assert scrubbed(cached) == scrubbed(recorded) == scrubbed(fresh)
+
+    def test_exploration_parity_on_the_pool_route(self):
+        store = VerdictStore()
+        cases = [case for case in reduction_parity_suite() if case[3] != "ASYNC"][:6]
+        with ExplorationPool(workers=2) as pool:
+            for name, m, n, model in cases:
+                algorithm, grid = get(name), Grid(m, n)
+                fresh = pool.explore(algorithm, grid, model, reduction="grid")
+                recorded = pool.explore(algorithm, grid, model, reduction="grid", store=store)
+                cached = pool.explore(algorithm, grid, model, reduction="grid", store=store)
+                assert cached.store_stats["outcome"] == HIT
+                assert scrubbed(cached) == scrubbed(recorded) == scrubbed(fresh)
+
+    def test_check_result_parity_and_cross_entry_point_sharing(self, tmp_path):
+        store = VerdictStore(tmp_path / "store")
+        algorithm, grid = get(ALGORITHM), Grid(3, 3)
+        fresh = check_terminating_exploration(algorithm, grid, model="FSYNC", reduction="grid")
+        recorded = check_terminating_exploration(
+            algorithm, grid, model="FSYNC", reduction="grid", store=store
+        )
+        # The check cached its inner exploration under the explore key,
+        # so the explorer route hits without ever having explored.
+        exploration = explore_sharded(algorithm, grid, "FSYNC", reduction="grid", store=store)
+        assert exploration.store_stats["outcome"] == HIT
+        cached = check_terminating_exploration(
+            algorithm, grid, model="FSYNC", reduction="grid", store=store
+        )
+        assert cached.store_stats["outcome"] == HIT
+        assert replace(cached, store_stats=None) == replace(recorded, store_stats=None) == fresh
+
+    def test_budget_tripped_verdicts_never_alias_full_ones(self):
+        from repro.core.errors import StateSpaceLimitExceeded
+        from repro.engine.campaign import check_one
+
+        store = VerdictStore()
+        algorithm, grid = get(ALGORITHM), Grid(3, 3)
+        with pytest.raises(StateSpaceLimitExceeded):
+            check_terminating_exploration(
+                algorithm, grid, model="FSYNC", reduction="grid", max_states=2, store=store
+            )
+        assert len(store) == 0  # a tripped budget records nothing
+        # check_one converts the trip into a failed report — cached under a
+        # key that carries max_states, so it can never answer for the full
+        # check, which runs (and passes) as its own miss.
+        starved = check_one(algorithm, 3, 3, max_states=2, store=store)
+        assert not starved.ok
+        full = check_one(algorithm, 3, 3, store=store)
+        assert full.ok
+        assert full.store_stats["outcome"] == MISS
+        assert check_one(algorithm, 3, 3, max_states=2, store=store) == starved
+
+    def test_report_parity_on_disk_across_sessions(self, tmp_path):
+        algorithm = get(ALGORITHM)
+        tasks = grid_sweep_tasks(algorithm, sizes=[(3, 3), (3, 4)]) + exhaustive_check_tasks(
+            algorithm, sizes=[(3, 3)]
+        )
+        fresh = ParallelCampaignEngine(workers=1).run_tasks(algorithm, tasks)
+        with VerdictStore(tmp_path / "store") as store:
+            recorded = ParallelCampaignEngine(workers=1, store=store).run_tasks(algorithm, tasks)
+        # A new process opening the same directory serves every report.
+        with VerdictStore(tmp_path / "store") as reopened:
+            cached = ParallelCampaignEngine(workers=1, store=reopened).run_tasks(algorithm, tasks)
+            assert all(report.store_stats["outcome"] == HIT for report in cached)
+            assert reopened.misses == 0
+        assert cached == recorded == fresh
+
+    def test_serial_and_engine_routes_share_store_entries(self):
+        store = VerdictStore()
+        algorithm = get(ALGORITHM)
+        report = verify_one(algorithm, 3, 3, store=store)
+        assert report.store_stats["outcome"] == MISS
+        (task,) = grid_sweep_tasks(algorithm, sizes=[(3, 3)])
+        (engine_report,) = ParallelCampaignEngine(workers=1, store=store).run_tasks(
+            algorithm, [task]
+        )
+        assert engine_report.store_stats["outcome"] == HIT
+        assert engine_report == report
+
+    def test_walk_keys_normalize_the_default_seed(self):
+        algorithm = get(ALGORITHM)
+        explicit = grid_sweep_tasks(algorithm, sizes=[(3, 3)], seed=0)[0]
+        defaulted = grid_sweep_tasks(algorithm, sizes=[(3, 3)])[0]
+        assert task_store_key(explicit) == task_store_key(defaulted)
+
+    def test_distributed_route_serves_and_fills_the_store(self):
+        from repro.engine import DistributedBackend, WorkerDaemon
+
+        store = VerdictStore()
+        algorithm = get(ALGORITHM)
+        tasks = exhaustive_check_tasks(algorithm, sizes=[(3, 3), (3, 4)])
+        fresh = ParallelCampaignEngine(workers=1).run_tasks(algorithm, tasks)
+        with DistributedBackend(min_workers=1, start_timeout=30) as backend:
+            with WorkerDaemon(backend.host, backend.port, workers=1).start():
+                engine = ParallelCampaignEngine(backend=backend, store=store)
+                recorded = engine.run_tasks(algorithm, tasks)
+                cached = engine.run_tasks(algorithm, tasks)
+        assert all(report.store_stats["outcome"] == HIT for report in cached)
+        assert cached == recorded == fresh
+        # The second run never crossed the wire: hits short-circuit dispatch.
+        assert store.misses == len(tasks)
+
+
+# ---------------------------------------------------------------------------
+# Matcher-cache bound (satellite)
+# ---------------------------------------------------------------------------
+class TestMatcherCacheBound:
+    def test_trim_bounds_entries_and_counts_evictions(self):
+        from repro.engine.walk import run_fsync
+
+        algorithm = get(ALGORITHM)
+        cache = MatcherCache(max_entries=8)
+        run_fsync(algorithm, Grid(4, 4), matcher=cache.matcher_for(algorithm, Grid(4, 4)))
+        assert cache.entry_count() > 8  # matchers overshoot between handouts
+        cache.matcher_for(algorithm, Grid(3, 3))  # handout enforces the cap
+        assert cache.entry_count() <= 8
+        assert cache.stats.evictions > 0
+        assert cache.stats_for(algorithm).evictions == cache.stats.evictions
+
+    def test_unbounded_by_default_in_practice(self):
+        cache = MatcherCache()
+        algorithm = get(ALGORITHM)
+        cache.matcher_for(algorithm, Grid(3, 3))
+        assert cache.stats.evictions == 0
+
+    def test_eviction_does_not_change_results(self):
+        from repro.engine.walk import run_fsync
+
+        algorithm = get(ALGORITHM)
+        bounded, unbounded = MatcherCache(max_entries=4), MatcherCache()
+        grids = [Grid(3, 3), Grid(4, 4), Grid(3, 3)]
+        for grid in grids:
+            starved = run_fsync(algorithm, grid, matcher=bounded.matcher_for(algorithm, grid))
+            warm = run_fsync(algorithm, grid, matcher=unbounded.matcher_for(algorithm, grid))
+            assert starved.steps == warm.steps
+            assert starved.total_moves == warm.total_moves
+        assert bounded.stats.evictions > 0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            MatcherCache(max_entries=0)
+
+
+# ---------------------------------------------------------------------------
+# Frame compression (satellite)
+# ---------------------------------------------------------------------------
+class TestFrameCompression:
+    def test_large_bodies_compress_and_roundtrip(self):
+        from repro.engine.distributed import COMPRESS_THRESHOLD, decode_frame_body, encode_frame_info
+
+        payload = ("work", 7, "explore", [("row", i, "X" * 20) for i in range(500)])
+        frame, raw_bytes, wire_bytes, compressed = encode_frame_info(payload)
+        assert compressed
+        assert wire_bytes < raw_bytes
+        assert len(frame) == wire_bytes
+        assert raw_bytes - 1 >= COMPRESS_THRESHOLD
+        assert decode_frame_body(frame[8:]) == payload
+
+    def test_small_bodies_ship_raw(self):
+        from repro.engine.distributed import decode_frame_body, encode_frame_info
+
+        payload = ("heartbeat", 3)
+        frame, raw_bytes, wire_bytes, compressed = encode_frame_info(payload)
+        assert not compressed
+        assert wire_bytes == raw_bytes == len(frame)
+        assert decode_frame_body(frame[8:]) == payload
+
+    def test_incompressible_bodies_stay_raw(self):
+        import os as _os
+
+        from repro.engine.distributed import decode_frame_body, encode_frame_info
+
+        payload = _os.urandom(4096)  # already-high-entropy body
+        frame, _, _, compressed = encode_frame_info(payload)
+        assert not compressed
+        assert decode_frame_body(frame[8:]) == payload
+
+    def test_legacy_unflagged_frames_still_decode(self):
+        from repro.engine.distributed import decode_frame_body
+
+        body = pickle.dumps(("hello", {"pid": 1}), protocol=pickle.HIGHEST_PROTOCOL)
+        assert body[:1] == b"\x80"  # the disambiguating first byte
+        assert decode_frame_body(body) == ("hello", {"pid": 1})
+
+    def test_corrupt_compressed_body_raises_not_hangs(self):
+        from repro.engine.distributed import decode_frame_body, encode_frame_info
+
+        frame, _, _, compressed = encode_frame_info(list(range(2000)))
+        assert compressed
+        body = bytearray(frame[8:])
+        body[10] ^= 0xFF
+        with pytest.raises((zlib.error, pickle.UnpicklingError, EOFError, ValueError)):
+            decode_frame_body(bytes(body))
+
+    def test_wire_stats_record_compression_savings(self, monkeypatch):
+        from repro.engine import DistributedBackend, WorkerDaemon
+        from repro.engine import distributed as distributed_module
+
+        # Small test grids send small frames; drop the threshold so the
+        # coordinator's work frames qualify (production-size frontiers
+        # clear the real 1 KiB bar on their own).
+        monkeypatch.setattr(distributed_module, "COMPRESS_THRESHOLD", 64)
+        algorithm = get(ALGORITHM)
+        with DistributedBackend(min_workers=1, start_timeout=30) as backend:
+            with WorkerDaemon(backend.host, backend.port, workers=1).start():
+                exploration = explore_sharded(
+                    algorithm, Grid(4, 4), "FSYNC", reduction="grid", backend=backend
+                )
+                stats = backend.stats
+        assert exploration.num_states > 0
+        assert stats["frames_compressed"] >= 1
+        assert stats["bytes_sent_raw"] > stats["bytes_sent"]  # savings were real
