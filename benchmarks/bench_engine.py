@@ -596,6 +596,71 @@ def bench_store() -> Tuple[List[dict], float, dict]:
     return rows, cold_s / warm_s if warm_s else float("inf"), stats
 
 
+#: Warm requests timed per ``bench_service`` run (enough to average out
+#: socket jitter without dominating the suite's wall clock).
+SERVICE_WARM_REQUESTS = 50
+
+
+def bench_service() -> Tuple[List[dict], float, float, dict]:
+    """Warm-hit ``POST /v1/check`` latency through the HTTP service.
+
+    Starts the in-process threaded server over a throwaway on-disk store,
+    issues one cold check (computes and records the verdict), then times
+    :data:`SERVICE_WARM_REQUESTS` warm requests end-to-end through real
+    loopback HTTP.  Two gates are enforced as RuntimeErrors (they survive
+    ``python -O``): every warm response must be served from the store —
+    ``store_stats.outcome == "hit"`` and a frozen miss counter, i.e. a
+    warm hit never re-enters the engine — and its verdict bytes must be
+    identical to the cold response's.  Returns
+    ``(rows, warm_latency_s, cold_s, store_stats)``.
+    """
+    from repro.engine.spec import canonical_json
+    from repro.service import VerificationService, start_in_thread
+    from repro.service.client import ServiceClient
+
+    spec = {
+        "algorithm": "fsync_phi2_l2_chir_k2",
+        "m": 3,
+        "n": 3,
+        "model": "FSYNC",
+        "reduction": "grid",
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as root:
+        store = VerdictStore(Path(root) / "verdicts")
+        service = VerificationService(store)
+        server, _ = start_in_thread(service)
+        try:
+            client = ServiceClient(server.url)
+            start = time.perf_counter()
+            cold = client.check(spec)
+            cold_s = time.perf_counter() - start
+            cold_verdict = canonical_json(cold["verdict"])
+            misses_after_cold = store.stats["misses"]
+            latencies = []
+            for _ in range(SERVICE_WARM_REQUESTS):
+                start = time.perf_counter()
+                warm = client.check(spec)
+                latencies.append(time.perf_counter() - start)
+                if warm["observability"]["store_stats"]["outcome"] != "hit":
+                    raise RuntimeError("a warm service check re-entered the engine")
+                if canonical_json(warm["verdict"]) != cold_verdict:
+                    raise RuntimeError("a warm HTTP verdict diverged from the cold one")
+            if store.stats["misses"] != misses_after_cold:
+                raise RuntimeError("the store recorded new misses during the warm requests")
+            stats = store.stats
+            states = cold["verdict"]["states_explored"]
+        finally:
+            server.shutdown()
+            service.close()
+    warm_s = sum(latencies) / len(latencies)
+    label = "service POST /v1/check fsync_phi2_l2_chir_k2 3x3 [FSYNC]"
+    rows = [
+        _case(f"{label} cold", cold_s, states),
+        _case(f"{label} warm hit", warm_s, states),
+    ]
+    return rows, warm_s, cold_s, stats
+
+
 def _require_kernel_parity(reference, candidate, label: str) -> None:
     """RuntimeError (survives ``python -O``) unless the explorations match."""
     for field in ("model", "reduced", "states", "index", "succ", "edge_syms",
@@ -733,6 +798,8 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
     rows += stateful_rows
     store_rows, store_x, store_stats = bench_store()
     rows += store_rows
+    service_rows, service_warm_s, service_cold_s, service_store_stats = bench_service()
+    rows += service_rows
     packed_rows, packed_x = bench_packed(repetitions)
     rows += packed_rows
     records_rows, records_x = bench_from_records(max(1, repetitions // 10))
@@ -782,6 +849,11 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
         f"exhaustive sweep against the verdict store: warm hits are {store_x:.2f}x"
         f" the cold computing pass ({store_stats['hits']} hits,"
         f" {store_stats['misses']} misses, byte-identical reports)"
+    )
+    print(
+        f"HTTP service: warm /v1/check hits answer in {service_warm_s * 1e3:.2f} ms"
+        f" end-to-end ({service_cold_s / service_warm_s:.1f}x the cold request,"
+        f" {service_store_stats['hits']} hits, verdicts byte-identical, engine never re-entered)"
     )
     print(
         "packed kernel vs object kernel (warm): "
@@ -836,6 +908,13 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
             file=sys.stderr,
         )
         ok = False
+    if service_warm_s >= service_cold_s:
+        print(
+            "FAIL: expected a warm HTTP check (store hit) to answer faster than the"
+            " cold computing request",
+            file=sys.stderr,
+        )
+        ok = False
     for model in ("FSYNC", "SSYNC"):
         if packed_x[model] < 10.0:
             print(
@@ -879,6 +958,10 @@ def run_full(repetitions: int, workers: int, output: Path) -> int:
             "stateful_session_wire": session_wire,
             "store_warm_vs_cold_sweep": store_x,
             "store_stats": store_stats,
+            "service_warm_hit_latency_s": service_warm_s,
+            "service_cold_check_s": service_cold_s,
+            "service_warm_requests": SERVICE_WARM_REQUESTS,
+            "service_store_stats": service_store_stats,
             "packed_vs_object": {
                 "{} {}x{} [{}]".format(name, m, n, model): packed_x[model]
                 for name, m, n, model in PACKED_BENCH_CASES

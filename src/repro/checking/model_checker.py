@@ -339,19 +339,13 @@ def check_terminating_exploration(
     results are identical to computed ones.
     """
     if store is not None:
-        from ..engine.packed import normalize_kernel
         from ..engine.pool import registered
+        from ..engine.spec import check_store_key
 
         if registered(algorithm):
-            key = (
-                "check",
-                algorithm.name,
-                grid.m,
-                grid.n,
-                model,
-                normalize_reduction(reduction, symmetry_reduction),
-                normalize_kernel(kernel),
-                max_states,
+            key = check_store_key(
+                algorithm.name, grid.m, grid.n, model,
+                reduction, kernel, max_states, symmetry_reduction,
             )
             return store.fetch(
                 key,

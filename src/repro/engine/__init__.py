@@ -42,6 +42,9 @@ paper are implemented; every other layer consumes it:
   :class:`VerdictStore`: explorations, check results and campaign
   reports cached on disk by content hash, with in-flight request
   coalescing;
+* :mod:`repro.engine.spec` — work-item spec parsing/validation, the one
+  spelling of every verdict-store key, and the canonical JSON wire forms
+  the HTTP service (:mod:`repro.service`) exchanges;
 * :mod:`repro.engine.walk` — the lazy single-path simulator;
 * :mod:`repro.engine.suites` — shared grid-size suites;
 * :mod:`repro.engine.campaign` — batched serial/parallel campaign runner.
@@ -61,6 +64,7 @@ from .campaign import (
     grid_sweep_tasks,
     run_task,
     stress_test_tasks,
+    task_store_key,
     verify_one,
 )
 from .backend import (
@@ -107,6 +111,19 @@ from .reduction import (
     transform_state_colors,
 )
 from .sharded import explore_sharded
+from .spec import (
+    CheckSpec,
+    SpecError,
+    campaign_id,
+    canonical_json,
+    check_store_key,
+    explore_store_key,
+    exploration_payload,
+    parse_campaign,
+    parse_check_spec,
+    parse_task,
+    result_payload,
+)
 from .store import VerdictStore
 from .states import (
     AsyncRobotState,
@@ -246,4 +263,17 @@ __all__ = [
     "exhaustive_check_tasks",
     "derive_seed",
     "ParallelCampaignEngine",
+    # specs / wire forms
+    "SpecError",
+    "CheckSpec",
+    "parse_check_spec",
+    "parse_task",
+    "parse_campaign",
+    "campaign_id",
+    "canonical_json",
+    "check_store_key",
+    "explore_store_key",
+    "result_payload",
+    "exploration_payload",
+    "task_store_key",
 ]

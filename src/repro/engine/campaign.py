@@ -222,7 +222,9 @@ def verify_one(
     """
     seed = 0 if seed is None else seed
     if store is not None and registered(algorithm):
-        key = ("task", "walk", algorithm.name, m, n, model, seed, tie_break, max_steps)
+        from .spec import walk_task_key  # local import: spec imports this module
+
+        key = walk_task_key(algorithm.name, m, n, model, seed, tie_break, max_steps)
         return store.fetch(
             key,
             lambda: _run_verify_one(algorithm, m, n, model, seed, tie_break, max_steps, cache),
@@ -309,19 +311,9 @@ def check_one(
     under their own keys.
     """
     if store is not None and registered(algorithm):
-        from .packed import normalize_kernel  # local import: layering
+        from .spec import check_task_key  # local import: spec imports this module
 
-        key = (
-            "task",
-            "check",
-            algorithm.name,
-            m,
-            n,
-            model,
-            normalize_reduction(reduction),
-            max_states,
-            normalize_kernel(kernel),
-        )
+        key = check_task_key(algorithm.name, m, n, model, reduction, max_states, kernel)
         return store.fetch(
             key,
             lambda: _run_check_one(algorithm, m, n, model, reduction, max_states, cache, kernel, store),
@@ -467,35 +459,22 @@ def task_store_key(task: CampaignTask) -> Tuple[object, ...]:
     """The verdict-store spec of a task — shared by every execution route.
 
     :func:`verify_one` / :func:`check_one` build the identical tuples from
-    their arguments, so a report cached by a serial run is a hit for the
-    parallel engine's prefilter (and vice versa).  Normalizations mirror
-    execution: a walk's ``seed=None`` runs as ``0``, a check's reduction
-    and kernel specs resolve through their canonical spellings.
+    their arguments (and the HTTP service builds them from request
+    payloads), so a report cached by any route is a hit for every other —
+    the tuple spellings live in :mod:`repro.engine.spec`.  Normalizations
+    mirror execution: a walk's ``seed=None`` runs as ``0``, a check's
+    reduction and kernel specs resolve through their canonical spellings.
     """
-    if task.kind == "check":
-        from .packed import normalize_kernel  # local import: layering
+    from .spec import check_task_key, walk_task_key  # local import: spec imports this module
 
-        return (
-            "task",
-            "check",
-            task.algorithm,
-            task.m,
-            task.n,
-            task.model,
-            normalize_reduction(task.reduction),
-            task.max_states,
-            normalize_kernel(task.kernel),
+    if task.kind == "check":
+        return check_task_key(
+            task.algorithm, task.m, task.n, task.model,
+            task.reduction, task.max_states, task.kernel,
         )
-    return (
-        "task",
-        "walk",
-        task.algorithm,
-        task.m,
-        task.n,
-        task.model,
-        0 if task.seed is None else task.seed,
-        task.tie_break,
-        task.max_steps,
+    return walk_task_key(
+        task.algorithm, task.m, task.n, task.model,
+        task.seed, task.tie_break, task.max_steps,
     )
 
 

@@ -153,8 +153,10 @@ def explore_sharded(
     knorm = normalize_kernel(kernel)
     key: ExploreKey = (algorithm.name, grid.m, grid.n, model, spec, knorm)
     if store is not None and start is None and registered(algorithm):
+        from .spec import explore_store_key  # local import: shared key spelling
+
         return store.fetch(
-            ("explore",) + key + (max_states,),
+            explore_store_key(algorithm.name, grid.m, grid.n, model, spec, knorm, max_states),
             lambda: _route_exploration(
                 algorithm, grid, model, key, spec, knorm,
                 workers=workers, max_states=max_states, start=start,

@@ -1,0 +1,520 @@
+"""Work-item specs: parsing, validation, store keys and JSON wire forms.
+
+The verdict store (:mod:`repro.engine.store`) made one promise load-bearing
+across the whole stack: *equal specs produce equal content keys on every
+route*.  A check requested through the library
+(:func:`repro.checking.check_terminating_exploration`), through a campaign
+task (:func:`repro.engine.campaign.task_store_key`) and through the HTTP
+service (:mod:`repro.service`) must address the same stored verdict — a
+route-dependent key would silently fork the cache and recompute work the
+store already holds.
+
+This module is therefore the single place store keys are spelled:
+
+* :func:`check_store_key` / :func:`explore_store_key` — the
+  ``("check", ...)`` / ``("explore", ...)`` tuples of the checking entry
+  points (:mod:`repro.checking.model_checker` and
+  :mod:`repro.engine.sharded` build their keys here);
+* :func:`walk_task_key` / :func:`check_task_key` — the ``("task", ...)``
+  tuples of campaign work items
+  (:func:`repro.engine.campaign.task_store_key` delegates here).
+
+On top of the keys it owns the *wire* forms the HTTP service exchanges:
+
+* :func:`parse_check_spec` / :func:`parse_task` / :func:`parse_campaign`
+  turn untrusted JSON payloads into validated specs, raising
+  :class:`SpecError` with the offending **field named** (the service maps
+  that to a 400 whose body tells the client what to fix);
+* :func:`result_payload` / :func:`report_payload` split a result dataclass
+  into its ``verdict`` (the ``compare=True`` fields — a pure function of
+  the spec, byte-identical however the work was routed or cached) and its
+  ``observability`` (the ``compare=False`` channels: ``store_stats``,
+  ``matcher_stats``, ``wire_stats``, ...), so clients can byte-compare
+  verdicts without scrubbing cache-warmth noise themselves;
+* :func:`canonical_json` — the deterministic byte encoding (sorted keys,
+  no whitespace) those comparisons use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from .journal import content_key
+from .packed import normalize_kernel
+from .reduction import normalize_reduction
+from .walk import TieBreak
+
+__all__ = [
+    "SpecError",
+    "MODELS",
+    "check_store_key",
+    "explore_store_key",
+    "walk_task_key",
+    "check_task_key",
+    "parse_check_spec",
+    "parse_task",
+    "parse_campaign",
+    "campaign_id",
+    "canonical_json",
+    "result_payload",
+    "report_payload",
+    "exploration_payload",
+]
+
+MODELS = ("FSYNC", "SSYNC", "ASYNC")
+
+_REQUIRED = object()
+
+
+class SpecError(ValueError):
+    """A spec payload failed validation; ``field`` names the offender."""
+
+    def __init__(self, field: str, message: str) -> None:
+        super().__init__(message)
+        self.field = field
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"field": self.field, "message": str(self)}
+
+
+# ---------------------------------------------------------------------------
+# Store keys — the one spelling every route shares
+# ---------------------------------------------------------------------------
+def check_store_key(
+    algorithm: str,
+    m: int,
+    n: int,
+    model: str,
+    reduction=None,
+    kernel: Optional[str] = None,
+    max_states: int = 200_000,
+    symmetry_reduction: bool = False,
+) -> Tuple[object, ...]:
+    """The verdict-store spec of one exhaustive check.
+
+    Identical to the key :func:`repro.checking.check_terminating_exploration`
+    stores its :class:`~repro.checking.model_checker.CheckResult` under —
+    that function builds its key here.  ``max_states`` is part of the key
+    so a budget-limited check can never answer for a roomier one.
+    """
+    return (
+        "check",
+        algorithm,
+        m,
+        n,
+        model,
+        normalize_reduction(reduction, symmetry_reduction),
+        normalize_kernel(kernel),
+        max_states,
+    )
+
+
+def explore_store_key(
+    algorithm: str,
+    m: int,
+    n: int,
+    model: str,
+    reduction=None,
+    kernel: Optional[str] = None,
+    max_states: int = 200_000,
+    symmetry_reduction: bool = False,
+) -> Tuple[object, ...]:
+    """The verdict-store spec of one exploration.
+
+    ``("explore",) + ExploreKey + (max_states,)`` — exactly the key
+    :func:`repro.engine.sharded.explore_sharded` caches the
+    :class:`~repro.engine.explorer.Exploration` under (it builds the key
+    here), so an exploration cached by the library route is a warm hit for
+    ``POST /v1/explore`` and vice versa.
+    """
+    return (
+        "explore",
+        algorithm,
+        m,
+        n,
+        model,
+        normalize_reduction(reduction, symmetry_reduction),
+        normalize_kernel(kernel),
+        max_states,
+    )
+
+
+def walk_task_key(
+    algorithm: str,
+    m: int,
+    n: int,
+    model: str,
+    seed: Optional[int],
+    tie_break: str,
+    max_steps: Optional[int],
+) -> Tuple[object, ...]:
+    """The verdict-store spec of one bounded-walk campaign task.
+
+    Mirrors execution: ``seed=None`` runs as ``0``
+    (:func:`repro.engine.campaign.verify_one` normalizes before running),
+    so both spellings address the verdict of the run that actually happens.
+    """
+    return (
+        "task",
+        "walk",
+        algorithm,
+        m,
+        n,
+        model,
+        0 if seed is None else seed,
+        tie_break,
+        max_steps,
+    )
+
+
+def check_task_key(
+    algorithm: str,
+    m: int,
+    n: int,
+    model: str,
+    reduction=None,
+    max_states: int = 200_000,
+    kernel: Optional[str] = None,
+) -> Tuple[object, ...]:
+    """The verdict-store spec of one exhaustive-check campaign task."""
+    return (
+        "task",
+        "check",
+        algorithm,
+        m,
+        n,
+        model,
+        normalize_reduction(reduction),
+        max_states,
+        normalize_kernel(kernel),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Payload validation
+# ---------------------------------------------------------------------------
+def _field(payload: dict, name: str, default=_REQUIRED):
+    value = payload.get(name, default)
+    if value is _REQUIRED:
+        raise SpecError(name, f"missing required field {name!r}")
+    return value
+
+
+def _int_field(payload: dict, name: str, default=_REQUIRED, minimum: Optional[int] = None):
+    value = _field(payload, name, default)
+    if value is None and default is None:
+        return None
+    # bool is an int subclass; "m": true is a client bug, not a grid size.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(name, f"{name!r} must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise SpecError(name, f"{name!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def _resolve_algorithm(payload: dict):
+    from ..algorithms import registry  # local import: avoids a layering cycle
+
+    name = _field(payload, "algorithm")
+    if not isinstance(name, str):
+        raise SpecError("algorithm", f"'algorithm' must be a registry name, got {name!r}")
+    known = registry.all_algorithms()
+    if name not in known:
+        raise SpecError(
+            "algorithm",
+            f"unknown algorithm {name!r}; known: {', '.join(sorted(known))}",
+        )
+    return known[name]
+
+
+def _model_field(payload: dict, default: str = "FSYNC") -> str:
+    model = _field(payload, "model", default)
+    if not isinstance(model, str) or model.upper() not in MODELS:
+        raise SpecError("model", f"'model' must be one of {'/'.join(MODELS)}, got {model!r}")
+    return model.upper()
+
+
+def _reduction_field(payload: dict, default: Optional[str] = "grid") -> str:
+    reduction = _field(payload, "reduction", default)
+    try:
+        return normalize_reduction(reduction)
+    except (TypeError, ValueError) as exc:
+        raise SpecError("reduction", str(exc)) from None
+
+
+def _kernel_field(payload: dict) -> str:
+    kernel = _field(payload, "kernel", None)
+    try:
+        return normalize_kernel(kernel)
+    except ValueError as exc:
+        raise SpecError("kernel", str(exc)) from None
+
+
+def _grid_fields(payload: dict, algorithm) -> Tuple[int, int]:
+    m = _int_field(payload, "m", minimum=1)
+    n = _int_field(payload, "n", minimum=1)
+    if not algorithm.supports_grid(m, n):
+        raise SpecError(
+            "grid",
+            f"{algorithm.name} does not support a {m}x{n} grid"
+            f" (needs at least {algorithm.min_m}x{algorithm.min_n})",
+        )
+    return m, n
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckSpec:
+    """A validated ``/v1/check`` / ``/v1/explore`` request."""
+
+    algorithm: str
+    m: int
+    n: int
+    model: str
+    reduction: str
+    max_states: int
+    kernel: str
+
+    def check_key(self) -> Tuple[object, ...]:
+        return check_store_key(
+            self.algorithm, self.m, self.n, self.model,
+            self.reduction, self.kernel, self.max_states,
+        )
+
+    def explore_key(self) -> Tuple[object, ...]:
+        return explore_store_key(
+            self.algorithm, self.m, self.n, self.model,
+            self.reduction, self.kernel, self.max_states,
+        )
+
+
+def parse_check_spec(payload: object, default_reduction: Optional[str] = "grid") -> CheckSpec:
+    """Validate one check/explore spec payload (raises :class:`SpecError`)."""
+    if not isinstance(payload, dict):
+        raise SpecError("body", f"request body must be a JSON object, got {type(payload).__name__}")
+    algorithm = _resolve_algorithm(payload)
+    m, n = _grid_fields(payload, algorithm)
+    return CheckSpec(
+        algorithm=algorithm.name,
+        m=m,
+        n=n,
+        model=_model_field(payload),
+        reduction=_reduction_field(payload, default_reduction),
+        max_states=_int_field(payload, "max_states", 200_000, minimum=1),
+        kernel=_kernel_field(payload),
+    )
+
+
+def parse_task(payload: object, algorithm: Optional[str] = None):
+    """Validate one campaign-task payload into a picklable ``CampaignTask``.
+
+    ``algorithm`` supplies the campaign-level default so task entries in a
+    ``{"tasks": [...]}`` submission may omit it.
+    """
+    from .campaign import CampaignTask  # local import: campaign imports this module
+
+    if not isinstance(payload, dict):
+        raise SpecError("tasks", f"each task must be a JSON object, got {type(payload).__name__}")
+    if "algorithm" not in payload and algorithm is not None:
+        payload = dict(payload, algorithm=algorithm)
+    resolved = _resolve_algorithm(payload)
+    m, n = _grid_fields(payload, resolved)
+    model = _model_field(payload)
+    kind = _field(payload, "kind", "walk")
+    if kind not in ("walk", "check"):
+        raise SpecError("kind", f"'kind' must be 'walk' or 'check', got {kind!r}")
+    if kind == "check":
+        return CampaignTask(
+            algorithm=resolved.name,
+            m=m,
+            n=n,
+            model=model,
+            kind="check",
+            reduction=_reduction_field(payload, "grid"),
+            max_states=_int_field(payload, "max_states", 200_000, minimum=1),
+            kernel=_kernel_field(payload),
+        )
+    tie_break = _field(payload, "tie_break", TieBreak.ERROR)
+    if tie_break not in TieBreak.ALL:
+        raise SpecError("tie_break", f"'tie_break' must be one of {TieBreak.ALL}, got {tie_break!r}")
+    return CampaignTask(
+        algorithm=resolved.name,
+        m=m,
+        n=n,
+        model=model,
+        seed=_int_field(payload, "seed", None),
+        tie_break=tie_break,
+        max_steps=_int_field(payload, "max_steps", None, minimum=1),
+    )
+
+
+def _sizes_field(payload: dict) -> Optional[List[Tuple[int, int]]]:
+    sizes = _field(payload, "sizes", None)
+    if sizes is None:
+        return None
+    if not isinstance(sizes, (list, tuple)):
+        raise SpecError("sizes", f"'sizes' must be a list of [m, n] pairs, got {sizes!r}")
+    parsed = []
+    for entry in sizes:
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 2
+            or not all(isinstance(side, int) and not isinstance(side, bool) for side in entry)
+        ):
+            raise SpecError("sizes", f"each size must be an [m, n] integer pair, got {entry!r}")
+        parsed.append((entry[0], entry[1]))
+    return parsed
+
+
+def _seeds_field(payload: dict, default: Tuple[int, ...]) -> Tuple[int, ...]:
+    seeds = _field(payload, "seeds", None)
+    if seeds is None:
+        return default
+    if not isinstance(seeds, (list, tuple)) or not all(
+        isinstance(seed, int) and not isinstance(seed, bool) for seed in seeds
+    ):
+        raise SpecError("seeds", f"'seeds' must be a list of integers, got {seeds!r}")
+    return tuple(seeds)
+
+
+#: Campaign shapes a ``POST /v1/campaigns`` payload may name.
+CAMPAIGN_KINDS = ("grid_sweep", "stress_test", "exhaustive_sweep", "verify_algorithm", "tasks")
+
+
+def parse_campaign(payload: object) -> Tuple[str, List[object]]:
+    """Validate a campaign submission into ``(algorithm_name, task_list)``.
+
+    The payload either carries an explicit ``"tasks"`` list (each entry a
+    task payload for :func:`parse_task`) or names one of the campaign
+    shapes — ``grid_sweep`` / ``stress_test`` / ``exhaustive_sweep`` /
+    ``verify_algorithm`` — whose task lists are built by the *same*
+    builders the library campaigns use, so an HTTP submission and a
+    library call with equal parameters produce equal task lists (and so
+    equal store keys, journal keys and campaign ids).
+    """
+    from .campaign import (  # local import: campaign imports this module
+        exhaustive_check_tasks,
+        grid_sweep_tasks,
+        stress_test_tasks,
+    )
+
+    if not isinstance(payload, dict):
+        raise SpecError("body", f"request body must be a JSON object, got {type(payload).__name__}")
+    algorithm = _resolve_algorithm(payload)
+    if "tasks" in payload:
+        entries = payload["tasks"]
+        if not isinstance(entries, list) or not entries:
+            raise SpecError("tasks", "'tasks' must be a non-empty list of task objects")
+        return algorithm.name, [parse_task(entry, algorithm.name) for entry in entries]
+    kind = _field(payload, "campaign", "grid_sweep")
+    if kind not in CAMPAIGN_KINDS:
+        raise SpecError("campaign", f"'campaign' must be one of {CAMPAIGN_KINDS}, got {kind!r}")
+    sizes = _sizes_field(payload)
+    if kind == "grid_sweep":
+        tasks = grid_sweep_tasks(
+            algorithm,
+            sizes=sizes,
+            model=_model_field(payload),
+            seed=_int_field(payload, "seed", None),
+        )
+    elif kind == "stress_test":
+        models = _field(payload, "models", ["SSYNC", "ASYNC"])
+        if not isinstance(models, (list, tuple)) or not all(
+            isinstance(model, str) and model.upper() in MODELS for model in models
+        ):
+            raise SpecError("models", f"'models' must be a list drawn from {MODELS}, got {models!r}")
+        tasks = stress_test_tasks(
+            algorithm,
+            sizes=sizes,
+            models=tuple(model.upper() for model in models),
+            seeds=_seeds_field(payload, tuple(range(10))),
+        )
+    elif kind == "exhaustive_sweep":
+        tasks = exhaustive_check_tasks(
+            algorithm,
+            sizes=sizes,
+            model=_model_field(payload),
+            reduction=_reduction_field(payload, "grid"),
+            max_states=_int_field(payload, "max_states", 200_000, minimum=1),
+            kernel=_kernel_field(payload),
+        )
+    else:  # verify_algorithm
+        tasks = grid_sweep_tasks(algorithm, sizes=sizes, model="FSYNC")
+        if algorithm.synchrony == "ASYNC":
+            tasks.extend(
+                stress_test_tasks(algorithm, sizes=sizes, seeds=_seeds_field(payload, tuple(range(5))))
+            )
+    if not tasks:
+        raise SpecError("sizes", "campaign resolved to zero tasks (no supported grid sizes)")
+    return algorithm.name, tasks
+
+
+def campaign_id(algorithm: str, tasks) -> str:
+    """The content-addressed id of a campaign submission.
+
+    A hash of the resolved task list, so equal submissions — before or
+    after a server restart — map to the same id, the same journal file and
+    therefore the same resumable run.  16 hex chars: collision-safe for
+    any plausible number of campaigns, short enough for URLs and logs.
+    """
+    return content_key(("campaign", algorithm, tuple(tasks)))[:16]
+
+
+# ---------------------------------------------------------------------------
+# Wire forms
+# ---------------------------------------------------------------------------
+def canonical_json(value: object) -> str:
+    """The deterministic JSON encoding byte-parity comparisons use."""
+    import json
+
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def result_payload(result) -> Dict[str, object]:
+    """Split a result dataclass into ``verdict`` and ``observability``.
+
+    ``verdict`` carries exactly the ``compare=True`` fields (plus the
+    computed ``ok`` flag) — the part promised byte-identical across
+    routes, kernels, reductions, caches and restarts.  ``observability``
+    carries the ``compare=False`` channels (``store_stats``,
+    ``matcher_stats``, ``reduction_stats``, ``wire_stats``, ``profile``)
+    that legitimately vary with cache warmth and transport.
+    """
+    verdict: Dict[str, object] = {}
+    observability: Dict[str, object] = {}
+    for field in dataclasses.fields(result):
+        value = getattr(result, field.name)
+        (verdict if field.compare else observability)[field.name] = value
+    verdict["ok"] = result.ok
+    return {"verdict": verdict, "observability": observability}
+
+
+#: ``result_payload`` under the name campaign consumers expect.
+report_payload = result_payload
+
+
+def exploration_payload(exploration) -> Dict[str, object]:
+    """The JSON summary of an :class:`~repro.engine.explorer.Exploration`.
+
+    The graph itself (states, successor rows, witnesses) does not travel —
+    it can be millions of rows and its elements are not JSON values; the
+    summary carries the counts and specs a service client needs, with the
+    ``compare=False`` channels split out like :func:`result_payload`.
+    """
+    return {
+        "verdict": {
+            "model": exploration.model,
+            "reduction": exploration.reduction,
+            "reduced": exploration.reduced,
+            "num_states": exploration.num_states,
+            "terminal_states": len(exploration.terminal_indices()),
+            "root": exploration.root,
+        },
+        "observability": {
+            "matcher_stats": exploration.matcher_stats,
+            "reduction_stats": exploration.reduction_stats,
+            "wire_stats": exploration.wire_stats,
+            "store_stats": exploration.store_stats,
+            "profile": exploration.profile,
+        },
+    }

@@ -1,0 +1,142 @@
+"""Server CLI: ``python -m repro.service``.
+
+Binds the verification service and serves until interrupted::
+
+    python -m repro.service --port 8421 --store /var/lib/repro/store \\
+        --journal /var/lib/repro/journals --backend serial
+
+``--backend pool`` executes on a persistent in-process worker pool
+(``--workers``); ``--backend distributed`` binds a TCP coordinator at
+``--connect HOST:PORT`` and waits for worker daemons (launched separately
+with ``python -m repro.engine.distributed worker --connect HOST:PORT``) to
+enroll.  ``--store`` makes verdicts durable and warm-servable across
+restarts; ``--journal`` makes in-flight campaigns resumable across
+restarts (resubmit the same spec after a crash and only the remainder is
+computed).
+
+The chosen HTTP endpoint is printed as ``service: listening on URL`` (and
+written to ``--port-file`` when given) so wrappers can discover an
+ephemeral ``--port 0`` binding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .app import VerificationServer, VerificationService
+
+
+def _parse_endpoint(value: str):
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="HTTP/JSON verification service over the campaign engine and verdict store.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    parser.add_argument("--port", type=int, default=8421, help="HTTP port (0 picks a free one)")
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "pool", "distributed"),
+        default="serial",
+        help="execution backend for fresh (uncached) work",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="worker processes for --backend pool"
+    )
+    parser.add_argument(
+        "--connect",
+        type=_parse_endpoint,
+        default=("127.0.0.1", 0),
+        metavar="HOST:PORT",
+        help="coordinator endpoint for --backend distributed (worker daemons dial this)",
+    )
+    parser.add_argument(
+        "--min-workers", type=int, default=1, help="daemons to wait for (--backend distributed)"
+    )
+    parser.add_argument("--store", default=None, metavar="PATH", help="verdict-store directory")
+    parser.add_argument(
+        "--store-entries", type=int, default=100_000, help="in-memory verdict index bound"
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH", help="campaign journal directory (enables resume)"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None, help="per-client requests/second (unlimited if omitted)"
+    )
+    parser.add_argument("--burst", type=int, default=20, help="per-client burst size")
+    parser.add_argument(
+        "--port-file", default=None, metavar="PATH", help="write the bound HTTP port to this file"
+    )
+    parser.add_argument(
+        "--wave-delay",
+        type=float,
+        default=0.0,
+        help=argparse.SUPPRESS,  # test hook: seconds to sleep between campaign waves
+    )
+    parser.add_argument("--verbose", action="store_true", help="log every request")
+    return parser
+
+
+def build_service(args) -> VerificationService:
+    """Construct the service (store, backend, limiter) an argv asked for."""
+    from ..engine.backend import SerialBackend
+    from ..engine.store import VerdictStore
+
+    store = VerdictStore(args.store, max_entries=args.store_entries) if args.store else None
+    pool = None
+    backend = None
+    if args.backend == "pool":
+        from ..engine.pool import ExplorationPool
+
+        pool = ExplorationPool(args.workers)
+    elif args.backend == "distributed":
+        from ..engine.distributed import DistributedBackend
+
+        host, port = args.connect
+        backend = DistributedBackend(host, port, min_workers=args.min_workers)
+        print(f"service: distributed coordinator on {backend.address[0]}:{backend.address[1]}")
+    else:
+        # SerialBackend (not bare in-process calls) so campaign waves and
+        # explorations share the process-persistent matcher cache.
+        backend = SerialBackend()
+    return VerificationService(
+        store,
+        pool=pool,
+        backend=backend,
+        backend_kind=args.backend,
+        journal_dir=args.journal,
+        rate=args.rate,
+        burst=args.burst,
+        wave_delay=args.wave_delay,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    service = build_service(args)
+    server = VerificationServer((args.host, args.port), service, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"service: listening on http://{host}:{port}", flush=True)
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(str(port))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

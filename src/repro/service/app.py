@@ -1,0 +1,634 @@
+"""Verification-as-a-service: the HTTP/JSON front end over the engine.
+
+ROADMAP item 2's always-on story: the library stack already serves a
+(algorithm, model, grid, reduction, kernel, budget, seed) tuple checked
+once from disk at memcache speed (:mod:`repro.engine.store`), fans fresh
+work across pools and TCP fleets (:mod:`repro.engine.backend`), and
+survives coordinator crashes via the resume journal
+(:mod:`repro.engine.journal`).  What consumers still had to do was import
+the library.  This module is the network boundary: a stdlib-only threaded
+HTTP server exposing those layers as JSON endpoints, so "is this
+algorithm correct on this grid" becomes one ``curl``.
+
+Endpoints
+=========
+``POST /v1/check``
+    One exhaustive check.  Spec in, verdict out; store-backed, so a warm
+    hit returns without touching the engine (the response's
+    ``observability.store_stats.outcome`` says which happened).
+``POST /v1/explore``
+    One exploration; returns the graph *summary* (state/terminal counts),
+    cached under the library's exploration key.
+``POST /v1/campaigns``
+    Submit a task list or a named campaign shape.  Returns a
+    content-addressed campaign id — equal submissions map to the same id,
+    the same journal file, and therefore the same resumable run.
+``GET /v1/campaigns/<id>``
+    Status snapshot (state, completed/total, resumed count, failures).
+``GET /v1/campaigns/<id>/events``
+    NDJSON stream of per-task progress (``?since=N`` resumes a cursor).
+    The stream replays completed events first, then follows the live run
+    until its terminal ``done``/``error`` event.
+``GET /v1/stats``
+    Store hit/miss/coalesce counters, backend parallelism and wire stats,
+    rate-limiter counters, per-endpoint request counts.
+``GET /healthz``
+    Liveness (never rate-limited).
+
+Cross-cutting semantics
+=======================
+* **Shared store keys.**  Request payloads resolve through
+  :mod:`repro.engine.spec` — the same module the library routes build
+  their verdict-store keys with — so an HTTP check and a library
+  ``check_terminating_exploration`` of the same spec address the same
+  stored verdict, byte-identical modulo the ``compare=False``
+  observability channels.
+* **Validation.**  Malformed specs are 400s whose body names the
+  offending field (:class:`~repro.engine.spec.SpecError`); a tripped
+  state budget is a 422 naming ``max_states``.
+* **Rate limiting.**  A per-client token bucket
+  (:mod:`repro.service.rate_limit`) guards every ``/v1`` endpoint; a
+  rejected request gets 429 plus a ``Retry-After`` header.
+* **Resume on restart.**  Campaign runs execute through
+  ``ParallelCampaignEngine.run_tasks(journal=...)`` with a per-campaign
+  journal under ``--journal``; a server killed mid-campaign and
+  restarted on the same journal directory resumes a resubmitted campaign
+  from the journaled verdicts (reported per task as ``resumed: true``)
+  and recomputes only the remainder — PR 7's kill/resume guarantee,
+  surfaced over HTTP.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import StateSpaceLimitExceeded
+from ..core.grid import Grid
+from ..engine.campaign import ParallelCampaignEngine
+from ..engine.journal import CampaignJournal
+from ..engine.spec import (
+    SpecError,
+    campaign_id,
+    canonical_json,
+    exploration_payload,
+    parse_campaign,
+    parse_check_spec,
+    result_payload,
+)
+from ..engine.store import VerdictStore
+from .rate_limit import TokenBucketLimiter
+
+__all__ = [
+    "CampaignRun",
+    "VerificationService",
+    "VerificationServer",
+    "ServiceHandler",
+    "build_server",
+    "start_in_thread",
+]
+
+#: Bound on request bodies; campaign submissions are specs, not payloads.
+MAX_BODY_BYTES = 1 << 20
+
+#: Seconds an idle event stream waits before emitting a keepalive ping.
+EVENT_PING_INTERVAL = 15.0
+
+
+class CampaignRun:
+    """One submitted campaign: tasks, per-task events, final reports."""
+
+    def __init__(self, run_id: str, algorithm: str, tasks: Sequence) -> None:
+        self.id = run_id
+        self.algorithm = algorithm
+        self.tasks = list(tasks)
+        self.state = "running"
+        self.results: List[Optional[object]] = [None] * len(self.tasks)
+        self.completed = 0
+        self.resumed = 0
+        self.error: Optional[str] = None
+        self.created = time.time()
+        self.finished: Optional[float] = None
+        self._events: List[Dict[str, object]] = []
+        self._cond = threading.Condition()
+
+    # -- producer side (the executor thread) ----------------------------
+    def record(self, index: int, report, *, resumed: bool) -> None:
+        """Commit one completed task and publish its progress event."""
+        payload = result_payload(report)
+        with self._cond:
+            self.results[index] = report
+            self.completed += 1
+            if resumed:
+                self.resumed += 1
+            self._events.append(
+                {
+                    "event": "task",
+                    "seq": len(self._events),
+                    "index": index,
+                    "resumed": resumed,
+                    "ok": bool(report.ok),
+                    "report": payload,
+                }
+            )
+            self._cond.notify_all()
+
+    def finish(self) -> None:
+        with self._cond:
+            self.state = "done"
+            self.finished = time.time()
+            self._events.append(
+                {
+                    "event": "done",
+                    "seq": len(self._events),
+                    "ok": self.ok,
+                    "completed": self.completed,
+                    "total": len(self.tasks),
+                    "resumed": self.resumed,
+                    "failures": self.failures,
+                }
+            )
+            self._cond.notify_all()
+
+    def fail(self, error: BaseException) -> None:
+        with self._cond:
+            self.state = "failed"
+            self.finished = time.time()
+            self.error = f"{type(error).__name__}: {error}"
+            self._events.append({"event": "error", "seq": len(self._events), "error": self.error})
+            self._cond.notify_all()
+
+    # -- consumer side ---------------------------------------------------
+    @property
+    def ok(self) -> Optional[bool]:
+        """Whether every report succeeded; ``None`` while running/failed."""
+        if self.state == "done":
+            return all(report.ok for report in self.results)
+        return None
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for report in self.results if report is not None and not report.ok)
+
+    def status(self) -> Dict[str, object]:
+        with self._cond:
+            elapsed = (self.finished or time.time()) - self.created
+            return {
+                "id": self.id,
+                "algorithm": self.algorithm,
+                "state": self.state,
+                "total": len(self.tasks),
+                "completed": self.completed,
+                "resumed": self.resumed,
+                "failures": self.failures,
+                "ok": self.ok,
+                "error": self.error,
+                "events": len(self._events),
+                "elapsed_s": elapsed,
+                "location": f"/v1/campaigns/{self.id}",
+                "events_location": f"/v1/campaigns/{self.id}/events",
+            }
+
+    def wait_events(self, since: int, timeout: float) -> Tuple[List[Dict[str, object]], bool]:
+        """``(events beyond since, run-is-terminal)`` after at most ``timeout``."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len(self._events) <= since and self.state == "running":
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            return list(self._events[since:]), self.state != "running"
+
+
+class VerificationService:
+    """The framework-free core the HTTP handler dispatches into.
+
+    ``store`` backs every check/explore/campaign request (may be ``None``
+    — the service still works, it just recomputes).  Exactly one of
+    ``pool`` / ``backend`` routes fresh explorations; both ``None`` runs
+    serial in-process.  ``journal_dir`` enables durable, resumable
+    campaign runs.  ``wave_delay`` inserts a pause between campaign
+    dispatch waves — a deterministic throttle the kill/resume tests (and
+    nothing else) rely on.
+    """
+
+    def __init__(
+        self,
+        store: Optional[VerdictStore] = None,
+        *,
+        pool=None,
+        backend=None,
+        backend_kind: str = "serial",
+        journal_dir=None,
+        rate: Optional[float] = None,
+        burst: int = 20,
+        wave_delay: float = 0.0,
+        clock=time.monotonic,
+    ) -> None:
+        if pool is not None and backend is not None:
+            raise ValueError("pass a pool or a backend, not both")
+        self.store = store
+        self.pool = pool
+        self.backend = backend
+        self.backend_kind = backend_kind
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        if self.journal_dir is not None:
+            self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self.limiter = TokenBucketLimiter(rate, burst, clock=clock)
+        self.wave_delay = wave_delay
+        # chunksize=1 keeps the dispatch wave at the backend's parallelism,
+        # which is the event-stream granularity (serial => one event per
+        # completed task).
+        self.engine = ParallelCampaignEngine(
+            pool=pool, backend=backend, store=store, chunksize=1,
+            workers=1 if pool is None and backend is None else None,
+        )
+        self.campaigns: Dict[str, CampaignRun] = {}
+        self._lock = threading.Lock()
+        self.started = time.time()
+        self.requests: Dict[str, int] = {}
+
+    # -- bookkeeping -----------------------------------------------------
+    def count_request(self, endpoint: str) -> None:
+        with self._lock:
+            self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+
+    def _route_kwargs(self) -> Dict[str, object]:
+        if self.pool is not None:
+            return {"pool": self.pool}
+        if self.backend is not None:
+            return {"backend": self.backend}
+        return {}
+
+    # -- single-shot endpoints -------------------------------------------
+    def check(self, payload: object) -> Dict[str, object]:
+        """``POST /v1/check``: one exhaustive check through the store."""
+        from ..algorithms import registry
+        from ..checking.model_checker import check_terminating_exploration
+
+        spec = parse_check_spec(payload)
+        algorithm = registry.get(spec.algorithm)
+        started = time.perf_counter()
+        result = check_terminating_exploration(
+            algorithm,
+            Grid(spec.m, spec.n),
+            model=spec.model,
+            max_states=spec.max_states,
+            reduction=spec.reduction,
+            kernel=spec.kernel,
+            store=self.store,
+            **self._route_kwargs(),
+        )
+        body = result_payload(result)
+        body["spec"] = dataclasses.asdict(spec)
+        body["elapsed_s"] = time.perf_counter() - started
+        return body
+
+    def explore(self, payload: object) -> Dict[str, object]:
+        """``POST /v1/explore``: one exploration, summary out."""
+        from ..algorithms import registry
+        from ..engine.sharded import explore_sharded
+
+        spec = parse_check_spec(payload)
+        algorithm = registry.get(spec.algorithm)
+        started = time.perf_counter()
+        exploration = explore_sharded(
+            algorithm,
+            Grid(spec.m, spec.n),
+            spec.model,
+            reduction=spec.reduction,
+            max_states=spec.max_states,
+            kernel=spec.kernel,
+            store=self.store,
+            **self._route_kwargs(),
+        )
+        body = exploration_payload(exploration)
+        body["spec"] = dataclasses.asdict(spec)
+        body["elapsed_s"] = time.perf_counter() - started
+        return body
+
+    # -- campaigns --------------------------------------------------------
+    def submit_campaign(self, payload: object) -> Tuple[Dict[str, object], bool]:
+        """``POST /v1/campaigns``: ``(status, created)``.
+
+        Submission is idempotent by content: an id already registered —
+        running or done — is returned as-is rather than re-executed (its
+        verdicts were journaled and stored the first time around).
+        """
+        algorithm, tasks = parse_campaign(payload)
+        run_id = campaign_id(algorithm, tasks)
+        with self._lock:
+            existing = self.campaigns.get(run_id)
+            if existing is not None and existing.state != "failed":
+                return existing.status(), False
+            run = CampaignRun(run_id, algorithm, tasks)
+            self.campaigns[run_id] = run
+        thread = threading.Thread(
+            target=self._execute_campaign, args=(run,), name=f"campaign-{run_id}", daemon=True
+        )
+        thread.start()
+        return run.status(), True
+
+    def _execute_campaign(self, run: CampaignRun) -> None:
+        """Run one campaign wave-by-wave, journaling and publishing events."""
+        from ..algorithms import registry
+
+        journal = None
+        try:
+            algorithm = registry.get(run.algorithm)
+            results: List[Optional[object]] = [None] * len(run.tasks)
+            if self.journal_dir is not None:
+                journal = CampaignJournal(self.journal_dir / f"campaign-{run.id}.journal")
+                # Replay verdicts a previous (possibly killed) server
+                # already computed for this campaign id — the resume path.
+                for index, task in enumerate(run.tasks):
+                    cached = journal.get(CampaignJournal.task_key(task))
+                    if cached is not None:
+                        results[index] = cached
+                        run.record(index, cached, resumed=True)
+            pending = [index for index, report in enumerate(results) if report is None]
+            width = max(1, self.engine.workers)
+            for start in range(0, len(pending), width):
+                wave = pending[start : start + width]
+                reports = self.engine.run_tasks(
+                    algorithm,
+                    [run.tasks[index] for index in wave],
+                    journal=journal,
+                    resume=True,
+                    store=self.store,
+                )
+                for index, report in zip(wave, reports):
+                    results[index] = report
+                    run.record(index, report, resumed=False)
+                if self.wave_delay and start + width < len(pending):
+                    time.sleep(self.wave_delay)
+            run.finish()
+        except BaseException as exc:  # noqa: BLE001 - published, not swallowed
+            run.fail(exc)
+        finally:
+            if journal is not None:
+                journal.close()
+
+    def campaign(self, run_id: str) -> Optional[CampaignRun]:
+        with self._lock:
+            return self.campaigns.get(run_id)
+
+    def iter_campaign_events(self, run: CampaignRun, since: int = 0) -> Iterator[Dict[str, object]]:
+        """Replay events from ``since``, then follow the live run to its end."""
+        cursor = since
+        while True:
+            events, terminal = run.wait_events(cursor, timeout=EVENT_PING_INTERVAL)
+            for event in events:
+                yield event
+            cursor += len(events)
+            if events and events[-1]["event"] in ("done", "error"):
+                return
+            if terminal and not events:
+                # Subscribed past the end of a finished run: re-send the
+                # terminal snapshot so the stream still closes cleanly.
+                yield {"event": "done", "seq": cursor, **{
+                    key: value for key, value in run.status().items()
+                    if key in ("ok", "completed", "total", "resumed", "failures", "state")
+                }}
+                return
+            if not events:
+                yield {"event": "ping", "seq": cursor}
+
+    # -- stats ------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            campaigns = list(self.campaigns.values())
+            requests = dict(self.requests)
+        backend_stats = getattr(self.backend, "stats", None)
+        return {
+            "service": {
+                "uptime_s": time.time() - self.started,
+                "requests": requests,
+                "campaigns": {
+                    "total": len(campaigns),
+                    "running": sum(1 for run in campaigns if run.state == "running"),
+                    "done": sum(1 for run in campaigns if run.state == "done"),
+                    "failed": sum(1 for run in campaigns if run.state == "failed"),
+                },
+            },
+            "store": self.store.stats if self.store is not None else None,
+            "backend": {
+                "kind": self.backend_kind,
+                "parallelism": self.engine.workers,
+                "stats": dict(backend_stats) if isinstance(backend_stats, dict) else None,
+            },
+            "rate_limiter": self.limiter.stats,
+        }
+
+    def close(self) -> None:
+        """Release the execution resources the service owns."""
+        if self.pool is not None:
+            self.pool.close()
+        if self.backend is not None:
+            self.backend.close()
+        if self.store is not None:
+            self.store.close()
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+# ---------------------------------------------------------------------------
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into a :class:`VerificationService`.
+
+    HTTP/1.0 framing on purpose: the event stream is delimited by
+    connection close, so no chunked-encoding machinery is needed on
+    either side (the stdlib client reads lines until EOF).
+    """
+
+    server_version = "repro-verification-service"
+    protocol_version = "HTTP/1.0"
+
+    @property
+    def service(self) -> VerificationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):  # pragma: no cover - logging nicety
+            super().log_message(format, *args)
+
+    # -- plumbing ---------------------------------------------------------
+    def _send_json(self, code: int, body: Dict[str, object], headers: Optional[Dict[str, str]] = None):
+        data = (canonical_json(body) + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _error(self, code: int, message: str, field: Optional[str] = None, **headers) -> None:
+        error: Dict[str, object] = {"message": message}
+        if field is not None:
+            error["field"] = field
+        self._send_json(code, {"error": error}, headers=headers or None)
+
+    def _client_key(self) -> str:
+        return self.headers.get("X-Client-Id") or self.client_address[0]
+
+    def _admit(self) -> bool:
+        decision = self.service.limiter.check(self._client_key())
+        if decision.allowed:
+            return True
+        self._error(
+            429,
+            "rate limit exceeded; retry after the indicated delay",
+            **{"Retry-After": str(int(decision.retry_after))},
+        )
+        return False
+
+    def _read_payload(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise SpecError("body", f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise SpecError("body", "request body is empty; expected a JSON object")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SpecError("body", f"request body is not valid JSON: {exc}") from None
+
+    # -- routing ----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path not in ("/v1/check", "/v1/explore", "/v1/campaigns"):
+            self._error(404, f"unknown endpoint {path!r}")
+            return
+        self.service.count_request(f"POST {path}")
+        if not self._admit():
+            return
+        try:
+            payload = self._read_payload()
+            if path == "/v1/check":
+                self._send_json(200, self.service.check(payload))
+            elif path == "/v1/explore":
+                self._send_json(200, self.service.explore(payload))
+            else:
+                status, created = self.service.submit_campaign(payload)
+                self._send_json(202 if created else 200, status)
+        except SpecError as exc:
+            self._error(400, str(exc), field=exc.field)
+        except StateSpaceLimitExceeded as exc:
+            self._error(422, f"state budget tripped: {exc}", field="max_states")
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # noqa: BLE001 - boundary: never kill the thread
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
+        if path == "/healthz":
+            # Liveness is exempt from rate limiting: orchestration probes
+            # must never be starved by tenant traffic.
+            self.service.count_request("GET /healthz")
+            self._send_json(200, {"ok": True, "uptime_s": time.time() - self.service.started})
+            return
+        if path == "/v1/stats":
+            self.service.count_request("GET /v1/stats")
+            if self._admit():
+                self._send_json(200, self.service.stats())
+            return
+        if path.startswith("/v1/campaigns/"):
+            parts = path.split("/")
+            # /v1/campaigns/<id> or /v1/campaigns/<id>/events
+            if len(parts) == 4 or (len(parts) == 5 and parts[4] == "events"):
+                self._campaign_get(parts[3], streaming=len(parts) == 5, query=query)
+                return
+        self._error(404, f"unknown endpoint {path!r}")
+
+    def _campaign_get(self, run_id: str, *, streaming: bool, query: str) -> None:
+        endpoint = "GET /v1/campaigns/<id>/events" if streaming else "GET /v1/campaigns/<id>"
+        self.service.count_request(endpoint)
+        if not self._admit():
+            return
+        run = self.service.campaign(run_id)
+        if run is None:
+            self._error(
+                404,
+                f"unknown campaign {run_id!r} (the registry is in-memory;"
+                " resubmit the spec to resume it from its journal)",
+            )
+            return
+        if not streaming:
+            self._send_json(200, run.status())
+            return
+        since = 0
+        for part in query.split("&"):
+            if part.startswith("since="):
+                try:
+                    since = max(0, int(part[len("since="):]))
+                except ValueError:
+                    self._error(400, "'since' must be an integer event cursor", field="since")
+                    return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        try:
+            for event in self.service.iter_campaign_events(run, since):
+                self.wfile.write((canonical_json(event) + "\n").encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover - client went away
+            pass
+
+
+class VerificationServer(ThreadingHTTPServer):
+    """A threaded HTTP server bound to one :class:`VerificationService`.
+
+    Thread-per-request is exactly what the store's singleflight wants:
+    concurrent requests for one uncached spec rendezvous inside
+    ``VerdictStore.get_or_compute`` and trigger a single exploration.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: VerificationService, verbose: bool = False):
+        super().__init__(address, ServiceHandler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def build_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[VerificationService] = None,
+    **service_kwargs,
+) -> VerificationServer:
+    """Bind a :class:`VerificationServer` (``port=0`` picks a free port)."""
+    if service is None:
+        service = VerificationService(**service_kwargs)
+    return VerificationServer((host, port), service)
+
+
+def start_in_thread(
+    service: VerificationService, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[VerificationServer, threading.Thread]:
+    """Serve ``service`` on a daemon thread; returns ``(server, thread)``.
+
+    The in-process embedding tests and benchmarks use — real sockets, no
+    subprocess.  ``server.shutdown()`` stops the loop; ``service.close()``
+    is still the caller's job.
+    """
+    server = VerificationServer((host, port), service)
+    thread = threading.Thread(target=server.serve_forever, name="verification-server", daemon=True)
+    thread.start()
+    return server, thread

@@ -1,0 +1,234 @@
+"""The spec module: one spelling of every store key, validated wire forms.
+
+The load-bearing property is key *identity*: the key a payload parses to
+must equal the key the library route builds internally — otherwise the
+HTTP cache and the library cache silently fork.  These tests pin that by
+round-tripping specs through both routes and comparing the stored bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms import registry
+from repro.core.grid import Grid
+from repro.checking.model_checker import check_terminating_exploration
+from repro.engine.campaign import (
+    CampaignTask,
+    exhaustive_check_tasks,
+    grid_sweep_tasks,
+    task_store_key,
+)
+from repro.engine.journal import content_key
+from repro.engine.sharded import explore_sharded
+from repro.engine.spec import (
+    CheckSpec,
+    SpecError,
+    campaign_id,
+    canonical_json,
+    check_store_key,
+    check_task_key,
+    explore_store_key,
+    parse_campaign,
+    parse_check_spec,
+    parse_task,
+    result_payload,
+    walk_task_key,
+)
+from repro.engine.store import VerdictStore
+
+ALGORITHM = "fsync_phi2_l2_chir_k2"
+
+
+def spec_payload(**overrides):
+    payload = {"algorithm": ALGORITHM, "m": 3, "n": 3, "model": "FSYNC", "reduction": "grid+color"}
+    payload.update(overrides)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Key identity across routes
+# ---------------------------------------------------------------------------
+class TestKeyIdentity:
+    def test_parsed_check_key_is_a_store_hit_for_the_library_route(self):
+        """A check cached via the library is warm for the parsed HTTP key."""
+        store = VerdictStore()
+        algorithm = registry.get(ALGORITHM)
+        check_terminating_exploration(
+            algorithm, Grid(3, 3), model="FSYNC", reduction="grid+color", store=store
+        )
+        assert store.stats["misses"] >= 1
+        spec = parse_check_spec(spec_payload())
+        assert store.get(spec.check_key()) is not None
+        assert store.stats["hits"] == 1
+
+    def test_parsed_explore_key_is_a_store_hit_for_the_library_route(self):
+        store = VerdictStore()
+        algorithm = registry.get(ALGORITHM)
+        explore_sharded(algorithm, Grid(3, 3), "FSYNC", reduction="grid+color", store=store)
+        spec = parse_check_spec(spec_payload())
+        assert store.get(spec.explore_key()) is not None
+
+    def test_key_builders_normalize_spec_spellings(self):
+        """Spelling variants of one spec address one key."""
+        canonical = check_store_key(ALGORITHM, 3, 3, "FSYNC", "grid+color")
+        assert check_store_key(ALGORITHM, 3, 3, "FSYNC", "color+grid") == canonical
+        assert check_store_key(ALGORITHM, 3, 3, "FSYNC", "grid+color", "object") == canonical
+        assert parse_check_spec(spec_payload(reduction="color+grid")).check_key() == canonical
+
+    def test_task_store_key_delegates_to_the_shared_builders(self):
+        walk = CampaignTask(algorithm=ALGORITHM, m=3, n=3, model="SSYNC", seed=7, tie_break="first")
+        assert task_store_key(walk) == walk_task_key(
+            ALGORITHM, 3, 3, "SSYNC", 7, "first", walk.max_steps
+        )
+        check = CampaignTask(
+            algorithm=ALGORITHM, m=3, n=3, model="FSYNC", kind="check", reduction="grid"
+        )
+        assert task_store_key(check) == check_task_key(
+            ALGORITHM, 3, 3, "FSYNC", "grid", check.max_states, check.kernel
+        )
+
+    def test_walk_key_normalizes_default_seed_like_execution(self):
+        explicit = walk_task_key(ALGORITHM, 3, 3, "SSYNC", 0, "error", None)
+        assert walk_task_key(ALGORITHM, 3, 3, "SSYNC", None, "error", None) == explicit
+
+    def test_max_states_is_part_of_the_key(self):
+        roomy = check_store_key(ALGORITHM, 3, 3, "FSYNC", "grid", max_states=200_000)
+        tight = check_store_key(ALGORITHM, 3, 3, "FSYNC", "grid", max_states=50)
+        assert roomy != tight
+
+
+# ---------------------------------------------------------------------------
+# Validation: SpecError names the offending field
+# ---------------------------------------------------------------------------
+class TestValidation:
+    @pytest.mark.parametrize(
+        ("payload", "field"),
+        [
+            ("not an object", "body"),
+            ({}, "algorithm"),
+            ({"algorithm": "no_such_algorithm", "m": 3, "n": 3}, "algorithm"),
+            (spec_payload(m="three"), "m"),
+            (spec_payload(m=True), "m"),
+            (spec_payload(m=0), "m"),
+            (spec_payload(n=None), "n"),
+            (spec_payload(m=1, n=1), "grid"),
+            (spec_payload(model="WARP"), "model"),
+            (spec_payload(reduction="grid+magic"), "reduction"),
+            (spec_payload(kernel="simd"), "kernel"),
+            (spec_payload(max_states=0), "max_states"),
+            (spec_payload(max_states=2.5), "max_states"),
+        ],
+    )
+    def test_bad_check_specs_name_their_field(self, payload, field):
+        with pytest.raises(SpecError) as excinfo:
+            parse_check_spec(payload)
+        assert excinfo.value.field == field
+        assert excinfo.value.as_dict()["field"] == field
+
+    def test_valid_spec_is_normalized(self):
+        spec = parse_check_spec(spec_payload(model="fsync", reduction="color+grid"))
+        assert spec.model == "FSYNC"
+        assert spec.reduction == "grid+color"
+        assert spec.max_states == 200_000
+        assert isinstance(spec, CheckSpec)
+
+    @pytest.mark.parametrize(
+        ("payload", "field"),
+        [
+            ({"algorithm": ALGORITHM, "campaign": "moon_shot"}, "campaign"),
+            ({"algorithm": ALGORITHM, "sizes": [[3]]}, "sizes"),
+            ({"algorithm": ALGORITHM, "sizes": "3x3"}, "sizes"),
+            ({"algorithm": ALGORITHM, "campaign": "stress_test", "models": ["WARP"]}, "models"),
+            ({"algorithm": ALGORITHM, "campaign": "stress_test", "seeds": ["a"]}, "seeds"),
+            ({"algorithm": ALGORITHM, "tasks": []}, "tasks"),
+            ({"algorithm": ALGORITHM, "tasks": ["walk"]}, "tasks"),
+            ({"algorithm": ALGORITHM, "tasks": [{"m": 3, "n": 3, "kind": "fly"}]}, "kind"),
+            (
+                {"algorithm": ALGORITHM, "tasks": [{"m": 3, "n": 3, "tie_break": "coin"}]},
+                "tie_break",
+            ),
+        ],
+    )
+    def test_bad_campaigns_name_their_field(self, payload, field):
+        with pytest.raises(SpecError) as excinfo:
+            parse_campaign(payload)
+        assert excinfo.value.field == field
+
+    def test_task_entries_inherit_the_campaign_algorithm(self):
+        task = parse_task({"m": 3, "n": 3, "kind": "check"}, ALGORITHM)
+        assert task.algorithm == ALGORITHM
+        assert task.kind == "check"
+
+
+# ---------------------------------------------------------------------------
+# Campaign resolution and ids
+# ---------------------------------------------------------------------------
+class TestCampaigns:
+    def test_named_campaign_matches_the_library_builder(self):
+        """An HTTP grid_sweep resolves to the library's own task list."""
+        algorithm = registry.get(ALGORITHM)
+        name, tasks = parse_campaign(
+            {"algorithm": ALGORITHM, "campaign": "grid_sweep", "sizes": [[2, 3], [3, 3]]}
+        )
+        assert name == ALGORITHM
+        assert tasks == grid_sweep_tasks(algorithm, sizes=[(2, 3), (3, 3)], model="FSYNC")
+
+    def test_exhaustive_sweep_matches_the_library_builder(self):
+        algorithm = registry.get(ALGORITHM)
+        _, tasks = parse_campaign(
+            {
+                "algorithm": ALGORITHM,
+                "campaign": "exhaustive_sweep",
+                "sizes": [[3, 3]],
+                "reduction": "grid+color",
+            }
+        )
+        assert tasks == exhaustive_check_tasks(
+            algorithm, sizes=[(3, 3)], model="FSYNC", reduction="grid+color"
+        )
+
+    def test_campaign_id_is_content_addressed(self):
+        """Equal submissions (across processes/restarts) share one id."""
+        _, tasks_a = parse_campaign({"algorithm": ALGORITHM, "sizes": [[2, 3], [3, 3]]})
+        _, tasks_b = parse_campaign({"algorithm": ALGORITHM, "sizes": [[2, 3], [3, 3]]})
+        assert campaign_id(ALGORITHM, tasks_a) == campaign_id(ALGORITHM, tasks_b)
+        _, other = parse_campaign({"algorithm": ALGORITHM, "sizes": [[3, 3]]})
+        assert campaign_id(ALGORITHM, other) != campaign_id(ALGORITHM, tasks_a)
+        assert campaign_id(ALGORITHM, tasks_a) == content_key(
+            ("campaign", ALGORITHM, tuple(tasks_a))
+        )[:16]
+
+
+# ---------------------------------------------------------------------------
+# Wire forms
+# ---------------------------------------------------------------------------
+class TestWireForms:
+    def test_result_payload_splits_fields_by_compare(self):
+        result = check_terminating_exploration(
+            registry.get(ALGORITHM), Grid(3, 3), model="FSYNC", reduction="grid"
+        )
+        payload = result_payload(result)
+        compare_fields = {f.name for f in dataclasses.fields(result) if f.compare}
+        assert set(payload["verdict"]) == compare_fields | {"ok"}
+        assert set(payload["observability"]) == {
+            f.name for f in dataclasses.fields(result) if not f.compare
+        }
+        assert payload["verdict"]["ok"] is True
+
+    def test_verdict_half_is_route_independent(self):
+        """Cold vs store-warm results serialize to identical verdict bytes."""
+        store = VerdictStore()
+        algorithm = registry.get(ALGORITHM)
+        kwargs = dict(model="FSYNC", reduction="grid+color")
+        cold = check_terminating_exploration(algorithm, Grid(3, 3), store=store, **kwargs)
+        warm = check_terminating_exploration(algorithm, Grid(3, 3), store=store, **kwargs)
+        assert warm.store_stats["outcome"] == "hit"
+        assert canonical_json(result_payload(cold)["verdict"]) == canonical_json(
+            result_payload(warm)["verdict"]
+        )
+
+    def test_canonical_json_is_deterministic(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
